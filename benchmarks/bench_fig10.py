@@ -1,0 +1,51 @@
+"""Regenerates paper Figure 10: execution time of every mechanism on
+all 16 benchmarks, normalized to BkInOrder — the paper's headline
+result.
+
+Shape targets (§5.3): every reordering mechanism beats BkInOrder on
+average; Burst_TH is best overall (paper: 21% average reduction,
+beating RowHit by 6%, Intel by 11%, Intel_RP by 7%); read preemption
+dominates on mcf/parser/perlbmk/facerec while write piggybacking
+dominates on gcc and lucas.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, archive):
+    result = run_once(benchmark, fig10.run)
+    archive("fig10", fig10.render(result))
+    average = result["average"]
+    normalized = result["normalized"]
+
+    # Every out-of-order mechanism improves on the baseline.
+    for mechanism, value in average.items():
+        if mechanism != "BkInOrder":
+            assert value < 1.0, mechanism
+
+    # Burst_TH is the best mechanism overall, by a clear margin over
+    # Intel (paper: 11%).
+    assert min(average, key=average.get) == "Burst_TH"
+    assert average["Burst_TH"] < average["Intel"] * 0.97
+    assert average["Burst_TH"] < average["RowHit"]
+    assert average["Burst_TH"] < average["Burst_RP"]
+    assert average["Burst_TH"] < average["Burst_WP"]
+
+    # RP-dominant vs WP-dominant benchmarks (§5.3).  A small tolerance
+    # absorbs noise at reduced REPRO_SCALE; at full scale the gaps are
+    # clear (see EXPERIMENTS.md).
+    for bench in ("mcf", "parser", "perlbmk", "facerec"):
+        assert (
+            normalized[bench]["Burst_RP"]
+            <= normalized[bench]["Burst_WP"] * 1.03
+        ), bench
+    for bench in ("gcc", "lucas"):
+        assert (
+            normalized[bench]["Burst_WP"]
+            <= normalized[bench]["Burst_RP"] * 1.03
+        ), bench
+
+    # The headline reduction lands in the paper's neighbourhood.
+    reduction = result["reductions_pct"]["Burst_TH"]
+    assert 12.0 <= reduction <= 35.0  # paper: 21%

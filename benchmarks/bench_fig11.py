@@ -1,0 +1,39 @@
+"""Regenerates paper Figure 11: outstanding accesses for swim under
+thresholds WP(0), 8 ... 56, RP(64).
+
+Shape targets (§5.4): the peak number of outstanding writes grows
+with the threshold; saturation stays low for small thresholds and
+jumps at the RP end (paper: <7% below TH48, 14% at TH56, 70% at RP).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, archive):
+    result = run_once(benchmark, fig11.run)
+    archive("fig11", fig11.render(result))
+
+    order = [fig11.label(t) for t in fig11.THRESHOLDS]
+    saturation = [result[name]["write_queue_saturation"] for name in order]
+    mean_writes = [result[name]["mean_writes"] for name in order]
+
+    # Write occupancy grows with the threshold end to end.
+    assert mean_writes[0] < mean_writes[-1]
+    assert mean_writes == sorted(mean_writes)
+    # RP is the saturation extreme; WP sits in the noise floor at the
+    # bottom (below a few percent, like every small threshold — the
+    # paper: "the earlier write piggybacking is enabled, the less
+    # frequently the write queue will be saturated").
+    assert result["RP"]["write_queue_saturation"] == max(saturation)
+    assert result["WP"]["write_queue_saturation"] < 0.05
+    assert (
+        result["WP"]["write_queue_saturation"]
+        < result["TH48"]["write_queue_saturation"]
+    )
+    # The upper tail is monotone: TH48 <= TH52 <= TH56 <= RP.
+    upper = [
+        result[name]["write_queue_saturation"]
+        for name in ("TH48", "TH52", "TH56", "RP")
+    ]
+    assert upper == sorted(upper)

@@ -1,0 +1,45 @@
+"""Regenerates paper Figure 7: average read and write latency for all
+eight mechanisms across the 16 SPEC CPU2000 profiles.
+
+Shape targets (§5.1): every out-of-order mechanism cuts read latency
+vs BkInOrder (the paper reports 26-47%); Burst_RP reaches the lowest
+read latency of the burst family; RowHit keeps the lowest write
+latency among reordering mechanisms while Intel/Burst (write
+postponement) and the _RP variants grow it; Burst_WP pulls it back
+down.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, archive):
+    result = run_once(benchmark, fig7.run)
+    archive("fig7", fig7.render(result))
+
+    base_read = result["BkInOrder"]["read_latency"]
+    for mechanism, values in result.items():
+        if mechanism == "BkInOrder":
+            continue
+        assert values["read_latency"] < base_read, mechanism
+
+    # Burst_RP has the lowest read latency within the burst family.
+    burst_reads = {
+        m: result[m]["read_latency"]
+        for m in ("Burst", "Burst_RP", "Burst_WP")
+    }
+    assert min(burst_reads, key=burst_reads.get) == "Burst_RP"
+
+    # Write postponement raises write latency; piggybacking cuts it.
+    assert (
+        result["Burst"]["write_latency"]
+        > result["RowHit"]["write_latency"]
+    )
+    assert (
+        result["Burst_RP"]["write_latency"]
+        > result["Burst"]["write_latency"] * 0.95
+    )
+    assert (
+        result["Burst_WP"]["write_latency"]
+        < result["Burst"]["write_latency"]
+    )

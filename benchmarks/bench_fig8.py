@@ -1,0 +1,29 @@
+"""Regenerates paper Figure 8: the distribution of outstanding memory
+accesses for swim under six mechanisms.
+
+Shape targets (§5.1): Intel and Burst accumulate far more outstanding
+writes than BkInOrder/RowHit (write postponement); Burst_WP keeps the
+write queue nearly empty; read preemption (Burst_RP) pushes write
+occupancy higher still.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, archive):
+    result = run_once(benchmark, fig8.run)
+    archive("fig8", fig8.render(result))
+
+    mean_writes = {m: d["mean_writes"] for m, d in result.items()}
+    assert mean_writes["Intel"] > mean_writes["BkInOrder"]
+    assert mean_writes["Burst_RP"] > mean_writes["Intel"]
+    assert mean_writes["Burst_WP"] < mean_writes["Burst_RP"]
+
+    sat = {m: d["write_queue_saturation"] for m, d in result.items()}
+    assert sat["Burst_WP"] <= sat["Burst_TH"] <= sat["Burst_RP"]
+
+    # Distributions are proper (weights sum to one).
+    for data in result.values():
+        assert abs(sum(f for _, f in data["reads"]) - 1.0) < 1e-9
+        assert abs(sum(f for _, f in data["writes"]) - 1.0) < 1e-9

@@ -1,0 +1,74 @@
+"""§6 extrapolation: reordering gains across DRAM generations.
+
+The paper's §6 observes that bus frequency improves much faster than
+the core timing parameters (DDR PC-2100: 2-2-2 at 133 MHz; DDR2
+PC2-6400: 5-5-5 at 400 MHz — bandwidth +200%, timings -17%), so access
+latency *in cycles* keeps growing (row conflict 6 -> 15 cycles) and
+"the performance improvement provided by access reordering mechanisms
+will be even more significant".  This benchmark sweeps five device
+generations (DDR-266 through a DDR3-1333 extrapolation) and measures
+the Burst_TH gain over BkInOrder on each.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import format_table
+from repro.controller.system import MemorySystem
+from repro.cpu.core import OoOCore
+from repro.dram.timing import GENERATIONS
+from repro.experiments.common import default_seed, scaled_accesses
+from repro.sim.config import baseline_config
+from repro.workloads.spec2000 import make_benchmark_trace
+
+BENCHES = ("swim", "gcc", "art")
+
+
+def _run():
+    accesses = scaled_accesses(4000)
+    rows = []
+    for timing in GENERATIONS:
+        gains = []
+        for bench in BENCHES:
+            trace = make_benchmark_trace(bench, accesses, default_seed())
+            cycles = {}
+            for mechanism in ("BkInOrder", "Burst_TH"):
+                config = replace(baseline_config(), timing=timing)
+                system = MemorySystem(config, mechanism)
+                cycles[mechanism] = OoOCore(system, trace).run().mem_cycles
+            gains.append(1.0 - cycles["Burst_TH"] / cycles["BkInOrder"])
+        conflict = timing.tRP + timing.tRCD + timing.tCL
+        rows.append(
+            (
+                timing.name,
+                conflict,
+                sum(gains) / len(gains) * 100.0,
+            )
+        )
+    return rows
+
+
+def test_generation_sweep(benchmark, archive):
+    rows = run_once(benchmark, _run)
+    text = format_table(
+        (
+            "device",
+            "row conflict (cycles)",
+            "Burst_TH gain over BkInOrder (%)",
+        ),
+        rows,
+        title=(
+            "§6: reordering gain vs DRAM generation "
+            "(paper: gains grow as cycle-count latencies grow)"
+        ),
+        float_format="{:.1f}",
+    )
+    archive("generation_sweep", text)
+    # The §6 claim: the newest generation shows a larger reordering
+    # gain than the oldest.
+    oldest_gain = rows[0][2]
+    newest_gain = rows[-1][2]
+    assert newest_gain > oldest_gain
+    # And conflict latency in cycles is monotone across the ladder.
+    conflicts = [row[1] for row in rows]
+    assert conflicts == sorted(conflicts)

@@ -1,0 +1,22 @@
+"""Regenerates the §5.1 write-queue saturation rates on swim.
+
+Paper: Intel 24%, Burst 46%, Burst_RP 70%, Burst_WP 2%, Burst_TH 9%.
+The reproduction target is the ordering RP > Burst > Intel > TH > WP
+and the order of magnitude of the TH/WP endpoints.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import saturation
+
+
+def test_saturation(benchmark, archive):
+    result = run_once(benchmark, saturation.run)
+    archive("saturation", saturation.render(result))
+    measured = {m: v["measured"] for m, v in result.items()}
+    assert measured["Burst_RP"] >= measured["Burst"]
+    assert measured["Burst"] >= measured["Intel"] * 0.9
+    assert measured["Intel"] > measured["Burst_TH"]
+    assert measured["Burst_TH"] > measured["Burst_WP"]
+    assert measured["Burst_WP"] < 0.05   # paper: 2%
+    assert measured["Burst_TH"] < 0.20   # paper: 9%
+    assert measured["Burst_RP"] > 0.15   # paper: 70%

@@ -1,0 +1,28 @@
+"""Simulator throughput: memory cycles simulated per second.
+
+Not a paper figure — this tracks the cost of the reproduction itself
+so regressions in the hot scheduling loops are caught.  BkInOrder is
+the cheapest mechanism and Burst_TH the most featureful; both are
+timed on the same swim trace.
+"""
+
+import pytest
+
+from repro.controller.system import MemorySystem
+from repro.cpu.core import OoOCore
+from repro.experiments.common import default_seed, scaled_accesses
+from repro.sim.config import baseline_config
+from repro.workloads.spec2000 import make_benchmark_trace
+
+
+@pytest.mark.parametrize("mechanism", ["BkInOrder", "RowHit", "Burst_TH"])
+def test_simulation_throughput(benchmark, mechanism):
+    accesses = scaled_accesses(1500)
+    trace = make_benchmark_trace("swim", accesses, default_seed())
+
+    def run():
+        system = MemorySystem(baseline_config(), mechanism)
+        return OoOCore(system, trace).run().mem_cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert cycles > 0

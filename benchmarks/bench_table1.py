@@ -1,0 +1,23 @@
+"""Regenerates paper Table 1: possible SDRAM access latencies.
+
+Expected: open page hit/empty/conflict = 5/10/15 cycles on the DDR2
+5-5-5 device; close-page-autoprecharge empty = 10 cycles.  The
+measured values must match the paper exactly — this is a calibration
+table, not a statistical result.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1
+
+
+def test_table1(benchmark, archive):
+    result = run_once(benchmark, table1.run)
+    archive("table1", table1.render(result))
+    assert result["measured"]["open_page"] == {
+        "row_hit": 5,
+        "row_empty": 10,
+        "row_conflict": 15,
+    }
+    assert (
+        result["measured"]["close_page_autoprecharge"]["row_empty"] == 10
+    )

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, times
+the regeneration with pytest-benchmark (a single round — these are
+simulations, not microkernels) and archives the rendered paper-style
+output under ``benchmarks/results/``.
+
+Scale with ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=0.25`` for a quick
+pass, ``REPRO_SCALE=4`` for low-noise numbers).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import clear_cache
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    yield
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shared_run_cache():
+    """One memoisation cache across the whole benchmark session, so
+    fig7/fig9/fig10 (which share the benchmark x mechanism matrix)
+    only simulate each cell once."""
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture
+def archive():
+    """Callable saving a rendered experiment to results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

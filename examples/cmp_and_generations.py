@@ -1,0 +1,75 @@
+"""The paper's §6 outlook, reproduced: CMP mixes and device scaling.
+
+Two forward-looking claims close the paper:
+
+1. *"As the number of cycles for timing parameters increases in the
+   future, the performance improvement provided by access reordering
+   mechanisms will be even more significant."*  We sweep five DRAM
+   generations (DDR-266 ... DDR3-1333) and measure the Burst_TH gain
+   on each.
+2. *"Access reordering mechanisms will play a more important role
+   with chip level multiple processors."*  We run a 4-core
+   multiprogrammed mix against the single-core version of the same
+   benchmark.
+
+Usage::
+
+    python examples/cmp_and_generations.py [accesses_per_run]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import baseline_config
+from repro.analysis.tables import format_table
+from repro.controller.system import MemorySystem
+from repro.cpu.core import OoOCore
+from repro.dram.timing import GENERATIONS
+from repro.workloads.mixes import make_mix_trace
+from repro.workloads.spec2000 import make_benchmark_trace
+
+
+def gain(trace, config):
+    cycles = {}
+    for mechanism in ("BkInOrder", "Burst_TH"):
+        system = MemorySystem(config, mechanism)
+        cycles[mechanism] = OoOCore(system, trace).run().mem_cycles
+    return (1.0 - cycles["Burst_TH"] / cycles["BkInOrder"]) * 100.0
+
+
+def main() -> None:
+    accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+
+    print("1) Reordering gain vs DRAM generation (benchmark: swim)\n")
+    trace = make_benchmark_trace("swim", accesses, seed=1)
+    rows = []
+    for timing in GENERATIONS:
+        config = replace(baseline_config(), timing=timing)
+        conflict = timing.tRP + timing.tRCD + timing.tCL
+        rows.append((timing.name, conflict, gain(trace, config)))
+    print(
+        format_table(
+            ("device", "row conflict (cycles)", "Burst_TH gain (%)"),
+            rows,
+            float_format="{:.1f}",
+        )
+    )
+
+    print("\n2) Single core vs 4-core multiprogrammed mix\n")
+    config = baseline_config()
+    single = gain(make_benchmark_trace("swim", accesses, seed=1), config)
+    mix = gain(
+        make_mix_trace(("swim", "mcf", "gcc", "art"), accesses // 2, seed=1),
+        config,
+    )
+    print(
+        format_table(
+            ("workload", "Burst_TH gain (%)"),
+            [("swim alone", single), ("swim+mcf+gcc+art mix", mix)],
+            float_format="{:.1f}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: simulate one SPEC CPU2000 profile end to end.
+
+Runs the ``swim`` synthetic profile through the paper's best mechanism
+(Burst_TH, threshold 52) on the Table 3 baseline machine and prints
+the headline statistics: execution time, read/write latency, row hit
+rate, bus utilisation and write-queue behaviour.
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [mechanism]
+
+e.g. ``python examples/quickstart.py mcf RowHit``.
+"""
+
+import sys
+
+from repro import baseline_config, mechanism_names
+from repro.controller.system import MemorySystem
+from repro.cpu.core import OoOCore
+from repro.workloads.spec2000 import benchmark_names, make_benchmark_trace
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "swim"
+    mechanism = sys.argv[2] if len(sys.argv) > 2 else "Burst_TH"
+    if bench not in benchmark_names():
+        raise SystemExit(f"unknown benchmark {bench!r}: {benchmark_names()}")
+
+    config = baseline_config()
+    trace = make_benchmark_trace(bench, accesses=6000, seed=1)
+    system = MemorySystem(config, mechanism)
+    core = OoOCore(system, trace)
+    result = core.run()
+    stats = system.stats
+
+    print(f"benchmark          : {bench}")
+    print(f"mechanism          : {system.mechanism_name}")
+    print(f"machine            : {config.channels}ch x {config.ranks}rk x "
+          f"{config.banks}bk DDR2-800, pool {config.pool_size} "
+          f"(max {config.write_queue_size} writes)")
+    print(f"instructions       : {result.instructions}")
+    print(f"memory accesses    : {result.loads} reads, {result.stores} writes")
+    print(f"execution time     : {result.mem_cycles} memory cycles "
+          f"({result.cpu_cycles} CPU cycles, IPC {result.ipc:.2f})")
+    print(f"read latency       : {stats.mean_read_latency:.1f} cycles "
+          f"(min {stats.read_latency.min}, max {stats.read_latency.max})")
+    print(f"write latency      : {stats.mean_write_latency:.1f} cycles")
+    rates = stats.row_state_rates()
+    print(f"row states         : hit {rates['hit']:.1%}, "
+          f"conflict {rates['conflict']:.1%}, empty {rates['empty']:.1%}")
+    print(f"data bus           : {stats.data_bus_utilization:.1%} busy "
+          f"({stats.effective_bandwidth_gbps():.2f} GB/s effective)")
+    print(f"address bus        : {stats.address_bus_utilization:.1%} busy")
+    print(f"write queue        : saturated "
+          f"{stats.write_queue_saturation:.1%} of the time")
+    print(f"forwarded reads    : {stats.forwarded_reads}")
+    print(f"preemptions        : {stats.preemptions}")
+    print(f"piggybacked writes : {stats.piggybacked_writes}")
+    print(f"refreshes          : {stats.refreshes}")
+    print()
+    print(f"other mechanisms   : {', '.join(mechanism_names())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Sweep the Burst_TH threshold on one benchmark (paper §5.4).
+
+Reproduces the Figure 12 experiment for a single workload: as the
+threshold grows from 0 (pure write piggybacking) to the write queue
+size (pure read preemption), read latency falls, write latency rises,
+and execution time traces a valley whose floor the paper locates at
+threshold 52.
+
+Usage::
+
+    python examples/threshold_sweep.py [benchmark] [accesses]
+"""
+
+import sys
+
+from repro import baseline_config
+from repro.analysis.tables import format_table
+from repro.controller.system import MemorySystem
+from repro.cpu.core import OoOCore
+from repro.workloads.spec2000 import make_benchmark_trace
+
+THRESHOLDS = (0, 8, 16, 24, 32, 40, 48, 52, 56, 60, 64)
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "swim"
+    accesses = int(sys.argv[2]) if len(sys.argv) > 2 else 5000
+    trace = make_benchmark_trace(bench, accesses, seed=1)
+
+    rows = []
+    base_cycles = None
+    for threshold in THRESHOLDS:
+        config = baseline_config().with_threshold(threshold)
+        system = MemorySystem(config, "Burst_TH")
+        result = OoOCore(system, trace).run()
+        stats = system.stats
+        if base_cycles is None:
+            base_cycles = result.mem_cycles
+        label = {0: "WP", 64: "RP"}.get(threshold, f"TH{threshold}")
+        rows.append(
+            (
+                label,
+                stats.mean_read_latency,
+                stats.mean_write_latency,
+                stats.write_queue_saturation,
+                result.mem_cycles,
+                result.mem_cycles / base_cycles,
+            )
+        )
+
+    print(
+        format_table(
+            (
+                "variant",
+                "read lat",
+                "write lat",
+                "wq sat",
+                "cycles",
+                "vs WP",
+            ),
+            rows,
+            title=f"Threshold sweep on {bench} (write queue size 64)",
+        )
+    )
+    best = min(rows, key=lambda r: r[4])
+    print(f"\nbest threshold here: {best[0]} (paper average: TH52)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Metric aggregation and rendering helpers for the experiments."""
+
+from repro.analysis.export import (
+    export_nested_mapping,
+    export_rows,
+    export_series,
+)
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    normalize_to,
+    percent_reduction,
+)
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "arithmetic_mean",
+    "export_nested_mapping",
+    "export_rows",
+    "export_series",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "normalize_to",
+    "percent_reduction",
+]

@@ -1,0 +1,76 @@
+"""CSV export of experiment results.
+
+Every experiment returns plain dict/list structures; these helpers
+flatten the common shapes into CSV files so results can be pulled into
+pandas/gnuplot/spreadsheets without re-running simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Sequence, Union
+
+from repro.errors import ConfigError
+
+PathLike = Union[str, Path]
+
+
+def export_rows(
+    path: PathLike,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> int:
+    """Write header + rows; returns the number of data rows written."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ConfigError(
+                    f"row width {len(row)} != header width {len(headers)}"
+                )
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+def export_nested_mapping(
+    path: PathLike,
+    data: Mapping[str, Mapping[str, object]],
+    index_name: str = "name",
+) -> int:
+    """Write a {row -> {column -> value}} mapping (e.g. fig7/fig9).
+
+    Columns are the union of inner keys, in first-seen order; missing
+    cells are left empty.
+    """
+    columns: list = []
+    for inner in data.values():
+        for key in inner:
+            if key not in columns:
+                columns.append(key)
+    rows = [
+        [name] + [inner.get(column, "") for column in columns]
+        for name, inner in data.items()
+    ]
+    return export_rows(path, [index_name] + columns, rows)
+
+
+def export_series(
+    path: PathLike,
+    series: Mapping[str, Iterable[Sequence[object]]],
+    x_name: str = "x",
+    y_name: str = "y",
+) -> int:
+    """Write long-form (series, x, y) rows (e.g. fig8 distributions)."""
+    rows = [
+        (name, x, y)
+        for name, points in series.items()
+        for x, y in points
+    ]
+    return export_rows(path, ["series", x_name, y_name], rows)
+
+
+__all__ = ["export_nested_mapping", "export_rows", "export_series"]

@@ -1,0 +1,56 @@
+"""Per-core fairness analysis for multiprogrammed mixes (§6).
+
+A CMP mix (:mod:`repro.workloads.mixes`) gives each core a private
+1 GB address slice, and the controller records read latency per slice.
+These helpers turn that into the standard fairness views: per-core
+mean latency, the max/min latency ratio, and the Jain fairness index
+
+    J = (sum x_i)^2 / (n * sum x_i^2)
+
+computed over per-core *service rates* (1/latency), so J = 1 means
+every core's reads are served equally fast and J -> 1/n means one
+core monopolises the controller.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.sim.stats import SimStats
+
+
+def per_core_read_latency(stats: SimStats) -> Dict[int, float]:
+    """Mean read latency per 1 GB address slice (core)."""
+    return {
+        core: latency.mean
+        for core, latency in sorted(stats.read_latency_per_slice.items())
+        if latency.count
+    }
+
+
+def latency_disparity(stats: SimStats) -> float:
+    """Max/min ratio of per-core mean read latencies (1.0 = equal)."""
+    latencies = list(per_core_read_latency(stats).values())
+    if not latencies:
+        raise ConfigError("no per-core read latencies recorded")
+    lowest = min(latencies)
+    if lowest <= 0:
+        raise ConfigError("non-positive latency in fairness input")
+    return max(latencies) / lowest
+
+
+def jain_fairness(stats: SimStats) -> float:
+    """Jain index over per-core service rates; 1.0 is perfectly fair."""
+    latencies = list(per_core_read_latency(stats).values())
+    if not latencies:
+        raise ConfigError("no per-core read latencies recorded")
+    rates = [1.0 / value for value in latencies if value > 0]
+    if not rates:
+        raise ConfigError("non-positive latencies in fairness input")
+    total = sum(rates)
+    squares = sum(rate * rate for rate in rates)
+    return (total * total) / (len(rates) * squares)
+
+
+__all__ = ["jain_fairness", "latency_disparity", "per_core_read_latency"]

@@ -1,0 +1,174 @@
+"""``repro-sim`` — the general-purpose simulator front end.
+
+One command runs any workload (SPEC profile, multiprogrammed mix,
+microbenchmark or external trace file) through any mechanism on any
+machine variant, and reports the statistics as text, JSON or CSV::
+
+    repro-sim --benchmark swim --mechanism Burst_TH
+    repro-sim --benchmark swim --mechanism Burst_TH --threshold 40
+    repro-sim --mix swim,mcf,gcc,art --mechanism RowHit
+    repro-sim --micro stream --mechanism BkInOrder --device DDR_266
+    repro-sim --trace mytrace.txt --cpu inorder --json
+    repro-sim --benchmark gcc --mapping bit_reversal --csv out.csv
+
+(The experiment harness that regenerates the paper's tables/figures is
+the separate ``repro-experiments`` command.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro import dram
+from repro.analysis.export import export_rows
+from repro.controller.registry import MECHANISMS
+from repro.controller.system import MemorySystem
+from repro.cpu.core import OoOCore
+from repro.cpu.inorder import InOrderCore
+from repro.errors import ReproError
+from repro.sim.config import ROW_POLICIES, baseline_config
+from repro.workloads.microbench import MICROBENCHMARKS
+from repro.workloads.mixes import make_mix_trace
+from repro.workloads.spec2000 import benchmark_names, make_benchmark_trace
+from repro.workloads.trace import load_trace
+
+#: Device presets selectable with --device.
+DEVICES = {
+    "DDR_266": dram.DDR_266,
+    "DDR_400": dram.timing.DDR_400,
+    "DDR2_533": dram.timing.DDR2_533,
+    "DDR2_800": dram.DDR2_800,
+    "DDR3_1333": dram.timing.DDR3_1333,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Simulate a workload on the burst-scheduling memory system "
+            "(HPCA 2007 reproduction)."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--benchmark", choices=benchmark_names(),
+        help="synthetic SPEC CPU2000 profile",
+    )
+    source.add_argument(
+        "--mix", help="comma-separated benchmarks, one core each (max 4)"
+    )
+    source.add_argument(
+        "--micro", choices=sorted(MICROBENCHMARKS),
+        help="directed microbenchmark pattern",
+    )
+    source.add_argument("--trace", help="external trace file (gap R|W addr)")
+
+    parser.add_argument(
+        "--mechanism", default="Burst_TH", choices=sorted(MECHANISMS),
+        help="access reordering mechanism (default Burst_TH)",
+    )
+    parser.add_argument(
+        "--accesses", type=int, default=6000,
+        help="accesses to generate (ignored for --trace)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--threshold", type=int, default=None,
+        help="Burst_TH threshold override (0..write queue size)",
+    )
+    parser.add_argument(
+        "--device", choices=sorted(DEVICES), default="DDR2_800",
+        help="DRAM generation (default DDR2_800)",
+    )
+    parser.add_argument(
+        "--mapping", default="page_interleave",
+        choices=(
+            "page_interleave", "cacheline_interleave",
+            "bit_reversal", "permutation",
+        ),
+    )
+    parser.add_argument(
+        "--row-policy", default="open_page", choices=ROW_POLICIES
+    )
+    parser.add_argument(
+        "--cpu", default="ooo", choices=("ooo", "inorder"),
+        help="CPU model: out-of-order ROB (paper) or blocking in-order",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    parser.add_argument("--csv", help="write the summary as a one-row CSV file")
+    return parser
+
+
+def _make_trace(args):
+    if args.benchmark:
+        return args.benchmark, make_benchmark_trace(
+            args.benchmark, args.accesses, args.seed
+        )
+    if args.mix:
+        names = [n.strip() for n in args.mix.split(",") if n.strip()]
+        return "+".join(names), make_mix_trace(
+            names, args.accesses, args.seed
+        )
+    if args.micro:
+        return args.micro, MICROBENCHMARKS[args.micro](args.accesses)
+    return args.trace, load_trace(args.trace)
+
+
+def _run(args):
+    config = baseline_config(
+        timing=DEVICES[args.device],
+        mapping=args.mapping,
+        row_policy=args.row_policy,
+    )
+    if args.threshold is not None:
+        config = config.with_threshold(args.threshold)
+    workload, trace = _make_trace(args)
+    system = MemorySystem(config, args.mechanism)
+    core_cls = OoOCore if args.cpu == "ooo" else InOrderCore
+    result = core_cls(system, trace).run()
+    stats = system.stats
+    summary = {
+        "workload": workload,
+        "mechanism": system.mechanism_name,
+        "device": args.device,
+        "mapping": args.mapping,
+        "cpu": args.cpu,
+        "accesses": len(trace),
+        "mem_cycles": result.mem_cycles,
+        "cpu_cycles": result.cpu_cycles,
+        "instructions": result.instructions,
+        "ipc": round(result.ipc, 4),
+        **{k: round(v, 4) for k, v in stats.report().items()},
+    }
+    return summary
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the repro-sim command."""
+    args = _build_parser().parse_args(argv)
+    try:
+        summary = _run(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.csv:
+        headers = list(summary)
+        export_rows(args.csv, headers, [[summary[h] for h in headers]])
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        width = max(len(k) for k in summary)
+        for key, value in summary.items():
+            print(f"{key.ljust(width)}  {value}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Memory controller framework and baseline access reordering mechanisms.
+
+This package provides the machinery shared by every scheduler — the
+memory access type, the shared access pool (paper Table 3: 256 entries,
+at most 64 writes), the per-channel controller loop, and the
+multi-channel :class:`~repro.controller.system.MemorySystem` facade —
+plus the three baselines the paper compares against:
+
+* :class:`~repro.controller.inorder.BkInOrderScheduler` — bank in
+  order, round robin across banks (the paper's baseline).
+* :class:`~repro.controller.rowhit.RowHitScheduler` — row-hit-first per
+  bank (Rixner et al., ISCA 2000).
+* :class:`~repro.controller.intel.IntelScheduler` — Intel's patented
+  out-of-order scheduling (US 7,127,574), optionally with read
+  preemption (Intel_RP).
+
+The paper's own mechanism lives in :mod:`repro.core`.
+"""
+
+from repro.controller.access import AccessType, EnqueueStatus, MemoryAccess
+from repro.controller.base import Scheduler
+from repro.controller.inorder import BkInOrderScheduler
+from repro.controller.intel import IntelScheduler
+from repro.controller.pool import AccessPool
+from repro.controller.registry import (
+    MECHANISMS,
+    make_scheduler_factory,
+    mechanism_names,
+)
+from repro.controller.rowhit import RowHitScheduler
+from repro.controller.system import MemorySystem
+
+__all__ = [
+    "AccessPool",
+    "AccessType",
+    "BkInOrderScheduler",
+    "EnqueueStatus",
+    "IntelScheduler",
+    "MECHANISMS",
+    "MemoryAccess",
+    "MemorySystem",
+    "RowHitScheduler",
+    "Scheduler",
+    "make_scheduler_factory",
+    "mechanism_names",
+]

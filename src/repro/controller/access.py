@@ -1,0 +1,125 @@
+"""Memory accesses — the unit every scheduler reorders.
+
+Following the paper's terminology (§2): an *access* is a read or write
+issued by the lowest level cache, one cache line in size.  An access
+may require several SDRAM transactions depending on device state.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from repro.dram.channel import RowState
+from repro.mapping.base import DecodedAddress
+
+
+class AccessType(enum.Enum):
+    """Read or write, as seen by the memory controller."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class EnqueueStatus(enum.Enum):
+    """Outcome of presenting a new access to the memory system."""
+
+    ACCEPTED = "accepted"
+    #: A read hit a queued write; data was forwarded and the read
+    #: completed immediately without touching the SDRAM (paper §3.1).
+    FORWARDED = "forwarded"
+    #: The access pool (or write queue) is full; the CPU must retry.
+    REJECTED_FULL = "rejected_full"
+
+
+_ids = itertools.count()
+
+
+class MemoryAccess:
+    """One outstanding cache-line read or write.
+
+    Instances are mutable records updated as the access flows through
+    the controller; ``__slots__`` keeps them small because simulations
+    create hundreds of thousands.
+
+    Lifecycle cycle stamps:
+
+    * ``arrival`` — entered the controller queues;
+    * ``start_cycle`` — first SDRAM transaction issued (row state is
+      classified at this moment, against live bank state);
+    * ``complete_cycle`` — last data beat on the SDRAM data bus.
+
+    Latency, as plotted in the paper's Figure 7, is
+    ``complete_cycle - arrival``.
+    """
+
+    __slots__ = (
+        "id",
+        "type",
+        "address",
+        "channel",
+        "rank",
+        "bank",
+        "row",
+        "column",
+        "arrival",
+        "start_cycle",
+        "complete_cycle",
+        "row_state",
+        "forwarded",
+        "preempted",
+        "piggybacked",
+    )
+
+    def __init__(
+        self,
+        type: AccessType,
+        address: int,
+        decoded: DecodedAddress,
+        arrival: int,
+    ) -> None:
+        self.id = next(_ids)
+        self.type = type
+        self.address = address
+        self.channel = decoded.channel
+        self.rank = decoded.rank
+        self.bank = decoded.bank
+        self.row = decoded.row
+        self.column = decoded.column
+        self.arrival = arrival
+        self.start_cycle: Optional[int] = None
+        self.complete_cycle: Optional[int] = None
+        self.row_state: Optional[RowState] = None
+        self.forwarded = False
+        self.preempted = False
+        self.piggybacked = False
+
+    @property
+    def is_read(self) -> bool:
+        return self.type is AccessType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.type is AccessType.WRITE
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Arrival-to-last-data-beat latency in memory cycles."""
+        if self.complete_cycle is None:
+            return None
+        return self.complete_cycle - self.arrival
+
+    def bank_key(self):
+        """Hashable identity of the target bank within the channel."""
+        return (self.rank, self.bank)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryAccess(#{self.id} {self.type.value} "
+            f"ch{self.channel} r{self.rank} b{self.bank} "
+            f"row{self.row} col{self.column} @{self.arrival})"
+        )
+
+
+__all__ = ["AccessType", "EnqueueStatus", "MemoryAccess"]

@@ -1,0 +1,267 @@
+"""Scheduler abstract base class and shared controller machinery.
+
+Every access reordering mechanism — the baselines here and burst
+scheduling in :mod:`repro.core` — subclasses :class:`Scheduler` and
+implements three hooks:
+
+* ``_enqueue_read`` / ``_enqueue_write`` — place a new access into the
+  mechanism's queue structure;
+* ``schedule`` — issue at most one SDRAM command this cycle.
+
+The base class centralises everything the paper treats as common
+infrastructure so the mechanisms differ *only* in ordering policy:
+
+* write-queue hit detection with data forwarding (RAW, paper §3.1/3.4);
+* write-after-read blocking so no mechanism can commit a write past an
+  older read to the same address (WAR, §3.4);
+* row hit/conflict/empty classification at first-transaction time;
+* latency bookkeeping and the completion queue;
+* the open-page / close-page-autoprecharge row policy (Table 1).
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.controller.access import AccessType, EnqueueStatus, MemoryAccess
+from repro.controller.pool import AccessPool
+from repro.controller.rowpolicy import RowPolicyPredictor
+from repro.dram.channel import Channel
+from repro.sim.config import (
+    CLOSE_PAGE_AUTOPRECHARGE,
+    PREDICTIVE,
+    SystemConfig,
+)
+from repro.sim.stats import SimStats
+
+#: Transaction kinds a scheduler decides between for an ongoing access.
+COLUMN = "column"
+PRECHARGE = "precharge"
+ACTIVATE = "activate"
+
+
+class Scheduler(abc.ABC):
+    """Base class for per-channel access reordering mechanisms."""
+
+    #: Registry name; overridden by subclasses (paper Table 4).
+    name = "abstract"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        channel: Channel,
+        pool: AccessPool,
+        stats: SimStats,
+    ) -> None:
+        self.config = config
+        self.channel = channel
+        self.pool = pool
+        self.stats = stats
+        self.auto_precharge = config.row_policy == CLOSE_PAGE_AUTOPRECHARGE
+        #: Optional dynamic open/close predictor (paper ref [22]).
+        self.row_predictor = (
+            RowPolicyPredictor() if config.row_policy == PREDICTIVE else None
+        )
+        # Completion queue of (complete_cycle, access_id, access).
+        self._completions: List[Tuple[int, int, MemoryAccess]] = []
+        # Pending-address indexes for RAW forwarding and WAR blocking.
+        self._writes_by_addr: Dict[int, List[MemoryAccess]] = {}
+        self._reads_by_addr: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Enqueue path (paper Figure 4 for burst scheduling; the write-queue
+    # search is common to every mechanism with a write buffer)
+    # ------------------------------------------------------------------
+
+    def enqueue(self, access: MemoryAccess, cycle: int) -> EnqueueStatus:
+        """Admit ``access``; pool capacity was already checked upstream."""
+        if access.is_read:
+            queued = self._writes_by_addr.get(access.address)
+            if queued:
+                # Forward the latest write's data; the read completes
+                # immediately and never occupies the pool (§3.1).
+                access.forwarded = True
+                access.complete_cycle = cycle
+                self.stats.forwarded_reads += 1
+                return EnqueueStatus.FORWARDED
+            self.pool.add(access)
+            self._reads_by_addr[access.address] = (
+                self._reads_by_addr.get(access.address, 0) + 1
+            )
+            self._enqueue_read(access, cycle)
+            return EnqueueStatus.ACCEPTED
+        self.pool.add(access)
+        self._writes_by_addr.setdefault(access.address, []).append(access)
+        self._enqueue_write(access, cycle)
+        return EnqueueStatus.ACCEPTED
+
+    # ------------------------------------------------------------------
+    # Hooks for concrete mechanisms
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _enqueue_read(self, access: MemoryAccess, cycle: int) -> None:
+        """Insert a (non-forwarded) read into the queue structure."""
+
+    @abc.abstractmethod
+    def _enqueue_write(self, access: MemoryAccess, cycle: int) -> None:
+        """Insert a write into the queue structure."""
+
+    @abc.abstractmethod
+    def schedule(self, cycle: int) -> None:
+        """Issue at most one SDRAM command on the channel this cycle."""
+
+    @abc.abstractmethod
+    def pending_accesses(self) -> int:
+        """Accesses still queued (drain condition for simulations)."""
+
+    # ------------------------------------------------------------------
+    # Shared transaction helpers
+    # ------------------------------------------------------------------
+
+    def next_command_kind(self, access: MemoryAccess) -> str:
+        """Which transaction ``access`` needs next, from bank state."""
+        bank = self.channel.ranks[access.rank].banks[access.bank]
+        if bank.open_row == access.row:
+            return COLUMN
+        if bank.open_row is not None:
+            return PRECHARGE
+        return ACTIVATE
+
+    def can_issue_access(self, access: MemoryAccess, cycle: int) -> bool:
+        """Is the access's next transaction unblocked (paper §3.3)?
+
+        Includes the WAR guard: a write's column access may not issue
+        while an older read to the same address is still queued.
+        """
+        kind = self.next_command_kind(access)
+        channel = self.channel
+        if kind is COLUMN:
+            if access.is_write and self._reads_by_addr.get(access.address):
+                return False
+            return channel.can_column_at(
+                cycle, access.rank, access.bank, access.row, access.is_read
+            )
+        if kind is PRECHARGE:
+            return channel.can_precharge_at(cycle, access.rank, access.bank)
+        return channel.can_activate_at(cycle, access.rank, access.bank)
+
+    def issue_for(self, access: MemoryAccess, cycle: int) -> str:
+        """Issue the access's next transaction; returns its kind.
+
+        On the first transaction the access is classified as row hit /
+        conflict / empty against live bank state (§5.2's discussion of
+        preemption-induced row empties relies on this being live).
+        When the transaction is the column access, latency bookkeeping
+        runs and the access is finished from the queue's perspective.
+        """
+        if access.start_cycle is None:
+            access.start_cycle = cycle
+            access.row_state = self.channel.classify(
+                access.rank, access.bank, access.row
+            )
+            self.stats.row_states[access.row_state] += 1
+            if self.row_predictor is not None:
+                self.row_predictor.observe(access, access.row_state)
+        kind = self.next_command_kind(access)
+        if kind is COLUMN:
+            auto_precharge = self.auto_precharge
+            if self.row_predictor is not None and self.row_predictor.should_close(
+                access.rank, access.bank
+            ):
+                auto_precharge = True
+                self.row_predictor.note_closed(
+                    access.rank, access.bank, access.row
+                )
+            data_end = self.channel.issue_column(
+                cycle,
+                access.rank,
+                access.bank,
+                access.row,
+                access.is_read,
+                auto_precharge,
+            )
+            access.complete_cycle = data_end
+            heapq.heappush(
+                self._completions, (data_end, access.id, access)
+            )
+            if access.is_write:
+                self._finish_write_bookkeeping(access)
+        elif kind is PRECHARGE:
+            self.channel.issue_precharge(cycle, access.rank, access.bank)
+        else:
+            self.channel.issue_activate(
+                cycle, access.rank, access.bank, access.row
+            )
+        return kind
+
+    def _finish_write_bookkeeping(self, access: MemoryAccess) -> None:
+        """Drop a write from the pool/indexes once its column issued."""
+        queued = self._writes_by_addr.get(access.address)
+        if queued:
+            queued.remove(access)
+            if not queued:
+                del self._writes_by_addr[access.address]
+        self.pool.remove(access)
+        self.stats.write_latency.add(access.complete_cycle - access.arrival)
+        self.stats.completed_writes += 1
+        if access.piggybacked:
+            self.stats.piggybacked_writes += 1
+
+    def _finish_read_bookkeeping(self, access: MemoryAccess) -> None:
+        """Drop a read from the pool/indexes at its data return."""
+        count = self._reads_by_addr.get(access.address, 0)
+        if count <= 1:
+            self._reads_by_addr.pop(access.address, None)
+        else:
+            self._reads_by_addr[access.address] = count - 1
+        self.pool.remove(access)
+        latency = access.complete_cycle - access.arrival
+        self.stats.read_latency.add(latency)
+        slice_stats = self.stats.read_latency_per_slice
+        key = access.address >> 30
+        if key not in slice_stats:
+            from repro.sim.stats import LatencyStat
+
+            slice_stats[key] = LatencyStat()
+        slice_stats[key].add(latency)
+        self.stats.completed_reads += 1
+
+    def write_is_war_blocked(self, access: MemoryAccess) -> bool:
+        """True when an older read to the same address is still queued.
+
+        Mechanisms must not select such a write as a bank's ongoing
+        access ahead of the read — the column-level WAR guard would
+        stall it against a read waiting in the very same queue,
+        deadlocking the bank.
+        """
+        return bool(self._reads_by_addr.get(access.address))
+
+    def pop_completions(self, cycle: int) -> List[MemoryAccess]:
+        """Reads whose data arrived by ``cycle`` (responses to the CPU).
+
+        Writes were answered at enqueue (posted); their internal
+        completion already ran in :meth:`issue_for`.
+        """
+        done: List[MemoryAccess] = []
+        heap = self._completions
+        while heap and heap[0][0] <= cycle:
+            _, _, access = heapq.heappop(heap)
+            if access.is_read:
+                self._finish_read_bookkeeping(access)
+                self._on_read_complete(access)
+                done.append(access)
+        return done
+
+    def _on_read_complete(self, access: MemoryAccess) -> None:
+        """Hook: a read's data has returned (subclass bookkeeping)."""
+
+    @property
+    def in_flight(self) -> int:
+        """Accesses issued to the device but not yet completed."""
+        return len(self._completions)
+
+
+__all__ = ["ACTIVATE", "COLUMN", "PRECHARGE", "Scheduler"]

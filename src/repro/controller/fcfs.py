@@ -1,0 +1,56 @@
+"""Strict first-come-first-served scheduling (reference floor).
+
+Not part of the paper's Table 4 — provided as the classic lower bound
+the memory-scheduling literature measures from (Rixner et al. call it
+"in-order"): one global queue, one access at a time, the next access's
+transactions start only when the previous access completed.  No bank
+pipelining, no interleaving, no reordering — the Figure 1a discipline
+generalised.  Useful to quantify how much of BkInOrder's performance
+already comes from inter-bank pipelining.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.controller.access import MemoryAccess
+from repro.controller.base import COLUMN, Scheduler
+
+
+class FCFSScheduler(Scheduler):
+    """One global FIFO; fully serialised service."""
+
+    name = "FCFS"
+
+    def __init__(self, config, channel, pool, stats) -> None:
+        super().__init__(config, channel, pool, stats)
+        self._queue: Deque[MemoryAccess] = deque()
+        self._ongoing: Optional[MemoryAccess] = None
+
+    def _enqueue_read(self, access: MemoryAccess, cycle: int) -> None:
+        self._queue.append(access)
+
+    def _enqueue_write(self, access: MemoryAccess, cycle: int) -> None:
+        self._queue.append(access)
+
+    def pending_accesses(self) -> int:
+        return len(self._queue) + (1 if self._ongoing else 0)
+
+    def schedule(self, cycle: int) -> None:
+        if self._ongoing is None:
+            if not self._queue:
+                return
+            # Strict serialisation: the next access starts only after
+            # the previous one's data transfer has fully completed.
+            if self.channel.data_busy_until > cycle:
+                return
+            self._ongoing = self._queue.popleft()
+        access = self._ongoing
+        if not self.can_issue_access(access, cycle):
+            return
+        if self.issue_for(access, cycle) is COLUMN:
+            self._ongoing = None
+
+
+__all__ = ["FCFSScheduler"]

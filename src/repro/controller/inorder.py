@@ -1,0 +1,75 @@
+"""Bank in order scheduling — the paper's baseline (Table 3/4).
+
+``BkInOrder`` keeps one FIFO queue per bank: accesses within a bank are
+performed strictly in arrival order, while banks are served round
+robin.  Transactions of accesses in *different* banks still pipeline on
+the split-transaction buses (precharges and activates overlap data
+transfers), but no access ever passes another to the same bank — so
+row conflicts are never turned into row hits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from repro.controller.access import MemoryAccess
+from repro.controller.base import COLUMN, Scheduler
+
+BankKey = Tuple[int, int]
+
+
+class BkInOrderScheduler(Scheduler):
+    """In order within each bank, round robin between banks."""
+
+    name = "BkInOrder"
+
+    def __init__(self, config, channel, pool, stats) -> None:
+        super().__init__(config, channel, pool, stats)
+        self._queues: Dict[BankKey, Deque[MemoryAccess]] = {
+            (rank, bank): deque()
+            for rank, bank, _ in channel.iter_banks()
+        }
+        self._bank_keys: List[BankKey] = list(self._queues)
+        self._rr = 0
+        self._pending = 0
+
+    def _enqueue_read(self, access: MemoryAccess, cycle: int) -> None:
+        self._queues[access.bank_key()].append(access)
+        self._pending += 1
+
+    def _enqueue_write(self, access: MemoryAccess, cycle: int) -> None:
+        self._queues[access.bank_key()].append(access)
+        self._pending += 1
+
+    def pending_accesses(self) -> int:
+        return self._pending
+
+    def schedule(self, cycle: int) -> None:
+        """Issue the first unblocked head-of-queue transaction.
+
+        The scan starts at the round-robin pointer so every bank gets
+        an equal share of command slots; the pointer advances past a
+        bank when its current access's data transfer is scheduled.
+        """
+        keys = self._bank_keys
+        n = len(keys)
+        for offset in range(n):
+            index = (self._rr + offset) % n
+            queue = self._queues[keys[index]]
+            if not queue:
+                continue
+            head = queue[0]
+            # Strict order: even a WAR-blocked write head simply waits
+            # (its older same-address read is ahead of it anyway).
+            if not self.can_issue_access(head, cycle):
+                continue
+            kind = self.issue_for(head, cycle)
+            if kind is COLUMN:
+                queue.popleft()
+                self._pending -= 1
+                self._rr = (index + 1) % n
+            return
+
+
+__all__ = ["BkInOrderScheduler"]

@@ -1,0 +1,76 @@
+"""The shared memory access pool.
+
+Paper Table 3: the controller holds at most 256 outstanding accesses of
+which at most 64 may be writes; Figure 3 shows the read/write queues of
+all banks drawing from this shared pool (plus a write data pool, which
+we model implicitly — write data is forwarded by the schedulers'
+write-queue search).
+
+The pool only counts occupancy and enforces the two capacity limits.
+Queue structure belongs to the schedulers; the Burst_TH threshold
+compares against :attr:`write_count` here, which is what makes
+Burst_RP ≡ TH64 and Burst_WP ≡ TH0 (paper §5.4).
+"""
+
+from __future__ import annotations
+
+from repro.controller.access import MemoryAccess
+from repro.errors import PoolError
+
+
+class AccessPool:
+    """Occupancy accounting for the shared access pool."""
+
+    def __init__(self, capacity: int, write_capacity: int) -> None:
+        if capacity <= 0 or write_capacity <= 0:
+            raise PoolError("pool capacities must be positive")
+        if write_capacity > capacity:
+            raise PoolError("write capacity cannot exceed pool capacity")
+        self.capacity = capacity
+        self.write_capacity = write_capacity
+        self.read_count = 0
+        self.write_count = 0
+
+    @property
+    def count(self) -> int:
+        return self.read_count + self.write_count
+
+    @property
+    def full(self) -> bool:
+        return self.count >= self.capacity
+
+    @property
+    def write_queue_full(self) -> bool:
+        return self.write_count >= self.write_capacity
+
+    def can_accept(self, access: MemoryAccess) -> bool:
+        """Would the pool admit this access right now?"""
+        if self.full:
+            return False
+        if access.is_write and self.write_queue_full:
+            return False
+        return True
+
+    def add(self, access: MemoryAccess) -> None:
+        if not self.can_accept(access):
+            raise PoolError(
+                f"pool overflow adding {access!r} "
+                f"(reads={self.read_count}, writes={self.write_count})"
+            )
+        if access.is_write:
+            self.write_count += 1
+        else:
+            self.read_count += 1
+
+    def remove(self, access: MemoryAccess) -> None:
+        if access.is_write:
+            if self.write_count <= 0:
+                raise PoolError("write pool underflow")
+            self.write_count -= 1
+        else:
+            if self.read_count <= 0:
+                raise PoolError("read pool underflow")
+            self.read_count -= 1
+
+
+__all__ = ["AccessPool"]

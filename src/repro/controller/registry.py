@@ -1,0 +1,145 @@
+"""Registry of the simulated access reordering mechanisms (Table 4).
+
+========== ==========================================================
+BkInOrder  In order intra banks, round robin inter banks (baseline)
+RowHit     Row hit first intra bank, round robin inter banks [13]
+Intel      Intel's patented out of order memory scheduling [14]
+Intel_RP   Intel's scheduling with read preemption
+Burst      Burst scheduling
+Burst_RP   Burst scheduling with read preemption (= TH64)
+Burst_WP   Burst scheduling with write piggybacking (= TH0)
+Burst_TH   Burst scheduling with threshold (52 by default)
+========== ==========================================================
+
+Factories import lazily to avoid an import cycle between
+``repro.controller`` and ``repro.core``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigError
+
+SchedulerFactory = Callable[..., "object"]
+
+
+def _bkinorder(config, channel, pool, stats):
+    from repro.controller.inorder import BkInOrderScheduler
+
+    return BkInOrderScheduler(config, channel, pool, stats)
+
+
+def _rowhit(config, channel, pool, stats):
+    from repro.controller.rowhit import RowHitScheduler
+
+    return RowHitScheduler(config, channel, pool, stats)
+
+
+def _intel(config, channel, pool, stats):
+    from repro.controller.intel import IntelScheduler
+
+    return IntelScheduler(config, channel, pool, stats)
+
+
+def _intel_rp(config, channel, pool, stats):
+    from repro.controller.intel import IntelScheduler
+
+    return IntelScheduler(config, channel, pool, stats, read_preemption=True)
+
+
+def _burst(config, channel, pool, stats):
+    from repro.core.scheduler import BurstScheduler
+
+    return BurstScheduler.plain(config, channel, pool, stats)
+
+
+def _burst_rp(config, channel, pool, stats):
+    from repro.core.scheduler import BurstScheduler
+
+    return BurstScheduler.with_read_preemption(config, channel, pool, stats)
+
+
+def _burst_wp(config, channel, pool, stats):
+    from repro.core.scheduler import BurstScheduler
+
+    return BurstScheduler.with_write_piggybacking(config, channel, pool, stats)
+
+
+def _burst_th(config, channel, pool, stats):
+    from repro.core.scheduler import BurstScheduler
+
+    return BurstScheduler.with_threshold(config, channel, pool, stats)
+
+
+def _burst_dyn(config, channel, pool, stats):
+    from repro.core.dynamic import DynamicThresholdBurstScheduler
+
+    return DynamicThresholdBurstScheduler(config, channel, pool, stats)
+
+
+def _fcfs(config, channel, pool, stats):
+    from repro.controller.fcfs import FCFSScheduler
+
+    return FCFSScheduler(config, channel, pool, stats)
+
+
+def _ahb(config, channel, pool, stats):
+    from repro.controller.ahb import AHBScheduler
+
+    return AHBScheduler(config, channel, pool, stats)
+
+
+#: Name -> factory(config, channel, pool, stats).  The first eight are
+#: the paper's Table 4; Burst_DYN is the §7 future-work extension
+#: (dynamic threshold from the observed read/write ratio).
+MECHANISMS: Dict[str, SchedulerFactory] = {
+    "BkInOrder": _bkinorder,
+    "RowHit": _rowhit,
+    "Intel": _intel,
+    "Intel_RP": _intel_rp,
+    "Burst": _burst,
+    "Burst_RP": _burst_rp,
+    "Burst_WP": _burst_wp,
+    "Burst_TH": _burst_th,
+}
+
+#: Extensions beyond Table 4 (not part of the paper's comparisons):
+#: Burst_DYN is the §7 dynamic threshold; FCFS is the fully serialised
+#: reference floor; AHB is the adaptive history-based scheduler of the
+#: paper's related work (§2.2, Hur & Lin MICRO'04).
+EXTENSIONS: Dict[str, SchedulerFactory] = {
+    "Burst_DYN": _burst_dyn,
+    "FCFS": _fcfs,
+    "AHB": _ahb,
+}
+MECHANISMS.update(EXTENSIONS)
+
+
+def mechanism_names() -> List[str]:
+    """The paper's Table 4 mechanism names, in its order."""
+    return [name for name in MECHANISMS if name not in EXTENSIONS]
+
+
+def extension_names() -> List[str]:
+    """Mechanisms implemented beyond Table 4 (§7 future work)."""
+    return list(EXTENSIONS)
+
+
+def make_scheduler_factory(name: str) -> SchedulerFactory:
+    """Look up a mechanism factory by its Table 4 name."""
+    try:
+        return MECHANISMS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown mechanism {name!r}; available: {mechanism_names()}"
+        ) from None
+
+
+__all__ = [
+    "EXTENSIONS",
+    "MECHANISMS",
+    "extension_names",
+    "make_scheduler_factory",
+    "mechanism_names",
+]

@@ -1,0 +1,142 @@
+"""The multi-channel memory system facade.
+
+``MemorySystem`` assembles the pieces of paper Table 3 — address
+mapping, per-channel DRAM devices with refresh controllers, one
+scheduler instance per channel and the shared 256-entry access pool —
+behind the interface the CPU models drive:
+
+* :meth:`make_access` — translate a physical address;
+* :meth:`enqueue` — present an access (may be forwarded or rejected);
+* :meth:`tick` — advance one memory cycle, returning completed reads.
+
+It also owns the per-cycle statistics sampling that feeds Figures 8,
+9 and 11 (time-weighted outstanding-access distributions, bus
+utilisation, write-queue saturation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+from repro.controller.access import AccessType, EnqueueStatus, MemoryAccess
+from repro.controller.pool import AccessPool
+from repro.controller.registry import make_scheduler_factory
+from repro.dram.channel import Channel
+from repro.dram.refresh import RefreshController
+from repro.mapping.schemes import make_mapping
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimStats
+
+
+class MemorySystem:
+    """Channels, schedulers, refresh and the shared access pool."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        mechanism: Union[str, Callable] = "Burst_TH",
+        stats: Optional[SimStats] = None,
+    ) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else SimStats()
+        self.mapping = make_mapping(config)
+        factory = (
+            make_scheduler_factory(mechanism)
+            if isinstance(mechanism, str)
+            else mechanism
+        )
+        self.pool = AccessPool(config.pool_size, config.write_queue_size)
+        self.channels: List[Channel] = []
+        self.refreshers: List[RefreshController] = []
+        self.schedulers = []
+        for index in range(config.channels):
+            channel = Channel(config.timing, index, config.ranks, config.banks)
+            self.channels.append(channel)
+            self.refreshers.append(RefreshController(channel))
+            self.schedulers.append(
+                factory(config, channel, self.pool, self.stats)
+            )
+        self.mechanism_name = self.schedulers[0].name
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # CPU-facing interface
+    # ------------------------------------------------------------------
+
+    def make_access(
+        self, type: AccessType, address: int, cycle: int
+    ) -> MemoryAccess:
+        """Build an access with device coordinates for ``address``."""
+        return MemoryAccess(type, address, self.mapping.decode(address), cycle)
+
+    def can_accept(self, access: MemoryAccess) -> bool:
+        """Room in the pool (and write queue) for this access now?"""
+        return self.pool.can_accept(access)
+
+    def enqueue(self, access: MemoryAccess, cycle: int) -> EnqueueStatus:
+        """Present ``access`` to its channel's scheduler.
+
+        Writes are *posted*: an ACCEPTED write is complete from the
+        CPU's perspective (§3.1 line 10).  A FORWARDED read completed
+        instantly from the write queue.  REJECTED_FULL means the pool
+        or write queue is saturated; the CPU must stall and retry —
+        the pipeline-stall coupling of §5.1.
+        """
+        if not self.pool.can_accept(access):
+            return EnqueueStatus.REJECTED_FULL
+        access.arrival = cycle
+        return self.schedulers[access.channel].enqueue(access, cycle)
+
+    def tick(self) -> List[MemoryAccess]:
+        """Advance one memory cycle; returns reads whose data returned."""
+        cycle = self.cycle
+        stats = self.stats
+        completed: List[MemoryAccess] = []
+        for channel_index in range(len(self.channels)):
+            scheduler = self.schedulers[channel_index]
+            if not self.refreshers[channel_index].tick(cycle):
+                scheduler.schedule(cycle)
+            done = scheduler.pop_completions(cycle)
+            if done:
+                completed.extend(done)
+        # Per-cycle sampling for the outstanding-access distributions
+        # (Figures 8/11) and the saturation metrics (§5.1).
+        stats.outstanding_reads.add(self.pool.read_count)
+        stats.outstanding_writes.add(self.pool.write_count)
+        if self.pool.write_queue_full:
+            stats.write_queue_full_cycles += 1
+        if self.pool.full:
+            stats.pool_full_cycles += 1
+        self.cycle = cycle + 1
+        return completed
+
+    # ------------------------------------------------------------------
+    # Run-state inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """No queued or in-flight accesses anywhere."""
+        return self.pool.count == 0
+
+    def pending_accesses(self) -> int:
+        return sum(s.pending_accesses() for s in self.schedulers)
+
+    def finalize(self) -> SimStats:
+        """Fold channel counters into the stats bundle and return it."""
+        stats = self.stats
+        stats.cycles = self.cycle
+        # Bus utilisation is a per-channel fraction; average the
+        # channels so 100% means every channel's bus always busy.
+        n = len(self.channels)
+        stats.cmd_bus_cycles = sum(c.cmd_bus_cycles for c in self.channels) / n
+        stats.data_bus_cycles = (
+            sum(c.data_bus_cycles for c in self.channels) / n
+        )
+        stats.refreshes = sum(
+            rank.refresh_count for c in self.channels for rank in c.ranks
+        )
+        return stats
+
+
+__all__ = ["MemorySystem"]

@@ -1,0 +1,365 @@
+"""The burst scheduling access reordering mechanism (paper §3).
+
+This module wires the three subroutines of the paper's algorithm:
+
+* *access enter queue* (Figure 4) — runs in ``_enqueue_read`` /
+  ``_enqueue_write`` on top of the base class's write-queue search;
+* *bank arbiter* (Figure 5) — :meth:`BurstScheduler._arbitrate`, one
+  invocation per bank per cycle, selecting each bank's ongoing access
+  with read preemption and write piggybacking controlled by the static
+  threshold;
+* *transaction scheduler* (Table 2 / Figure 6) —
+  :meth:`BurstScheduler.schedule`, issuing one unblocked transaction
+  per cycle by static priority.
+
+The four paper variants (Table 4) are factory classmethods:
+``plain()`` (Burst), ``with_read_preemption()`` (Burst_RP ≡ TH64),
+``with_write_piggybacking()`` (Burst_WP ≡ TH0) and
+``with_threshold(52)`` (Burst_TH).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.controller.access import MemoryAccess
+from repro.controller.base import ACTIVATE, COLUMN, PRECHARGE, Scheduler
+from repro.core.burst import BurstQueue
+
+BankKey = Tuple[int, int]
+
+
+class BurstScheduler(Scheduler):
+    """Two-level burst scheduling with optional RP/WP and threshold."""
+
+    name = "Burst"
+
+    def __init__(
+        self,
+        config,
+        channel,
+        pool,
+        stats,
+        read_preemption: bool = False,
+        write_piggybacking: bool = False,
+        threshold: Optional[int] = None,
+        use_priority_table: bool = True,
+        inter_burst_policy: str = "arrival",
+    ) -> None:
+        super().__init__(config, channel, pool, stats)
+        self.read_preemption = read_preemption
+        self.write_piggybacking = write_piggybacking
+        #: Ablation switch: False replaces the Table 2 / Figure 6
+        #: transaction priority with naive round-robin issue — the
+        #: "best effort" scheduling the paper criticises in §4.2.
+        self.use_priority_table = use_priority_table
+        #: §7 future work: burst order within a bank ("arrival" is the
+        #: paper's mechanism; "largest_first" sorts by burst size).
+        self.inter_burst_policy = inter_burst_policy
+        self._rr = 0
+        if threshold is None:
+            threshold = config.threshold
+        self.threshold = threshold
+        self._read_queues: Dict[BankKey, BurstQueue] = {
+            (rank, bank): BurstQueue()
+            for rank, bank, _ in channel.iter_banks()
+        }
+        self._write_queues: Dict[BankKey, List[MemoryAccess]] = {
+            key: [] for key in self._read_queues
+        }
+        self._ongoing: Dict[BankKey, Optional[MemoryAccess]] = {
+            key: None for key in self._read_queues
+        }
+        # Figure 5 line 4, "last access was an end of burst": True
+        # whenever the bank is *not* mid way through serving a read
+        # burst.  Completed writes keep it True, which is what lets
+        # piggybacking chain row-hit writes into write bursts and
+        # "exploit the locality of row hits from writes" (§3.2).
+        self._end_of_burst: Dict[BankKey, bool] = {
+            key: True for key in self._read_queues
+        }
+        self._bank_keys: List[BankKey] = list(self._read_queues)
+        self._last_bank: Optional[BankKey] = None
+        self._last_rank: Optional[int] = None
+        self._pending = 0
+        # Reads outstanding across all banks of this channel (queued
+        # or data in flight).  Figure 5 line 6 ("write queue is not
+        # empty and read queue is empty") is evaluated against the
+        # whole read queue: burst scheduling is "more aggressive in
+        # prioritizing reads over writes than Intel" (§5.1),
+        # postponing writes as long as *any* read is outstanding —
+        # which is what drives its write queue to saturate 46% of the
+        # time on swim.
+        self._outstanding_reads = 0
+
+    # ------------------------------------------------------------------
+    # Variant factories (paper Table 4)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def plain(cls, config, channel, pool, stats) -> "BurstScheduler":
+        """Burst: neither read preemption nor write piggybacking."""
+        return cls(config, channel, pool, stats)
+
+    @classmethod
+    def with_read_preemption(cls, config, channel, pool, stats):
+        """Burst_RP — equivalent to TH = write queue size (§5.4)."""
+        scheduler = cls(
+            config,
+            channel,
+            pool,
+            stats,
+            read_preemption=True,
+            threshold=config.write_queue_size,
+        )
+        scheduler.name = "Burst_RP"
+        return scheduler
+
+    @classmethod
+    def with_write_piggybacking(cls, config, channel, pool, stats):
+        """Burst_WP — equivalent to TH = 0 (§5.4)."""
+        scheduler = cls(
+            config,
+            channel,
+            pool,
+            stats,
+            write_piggybacking=True,
+            threshold=0,
+        )
+        scheduler.name = "Burst_WP"
+        return scheduler
+
+    @classmethod
+    def with_threshold(cls, config, channel, pool, stats, threshold=None):
+        """Burst_TH: RP below the threshold, WP above it (§5.4)."""
+        scheduler = cls(
+            config,
+            channel,
+            pool,
+            stats,
+            read_preemption=True,
+            write_piggybacking=True,
+            threshold=threshold,
+        )
+        scheduler.name = f"Burst_TH{scheduler.threshold}"
+        return scheduler
+
+    # ------------------------------------------------------------------
+    # Access enter queue subroutine (Figure 4)
+    # ------------------------------------------------------------------
+    # The write-queue hit search and forwarding (lines 1-4) run in
+    # Scheduler.enqueue before these hooks are reached.
+
+    def _enqueue_read(self, access: MemoryAccess, cycle: int) -> None:
+        self._read_queues[access.bank_key()].add_read(access)
+        self._pending += 1
+        self._outstanding_reads += 1
+
+    def _enqueue_write(self, access: MemoryAccess, cycle: int) -> None:
+        self._write_queues[access.bank_key()].append(access)
+        self._pending += 1
+
+    def pending_accesses(self) -> int:
+        return self._pending
+
+    def _on_read_complete(self, access: MemoryAccess) -> None:
+        self._outstanding_reads -= 1
+
+    # ------------------------------------------------------------------
+    # Bank arbiter subroutine (Figure 5)
+    # ------------------------------------------------------------------
+
+    def _oldest_write(self, key: BankKey) -> Optional[MemoryAccess]:
+        """Oldest write of this bank that is not WAR-blocked."""
+        for access in self._write_queues[key]:
+            if not self.write_is_war_blocked(access):
+                return access
+        return None
+
+    def _oldest_row_hit_write(self, key: BankKey) -> Optional[MemoryAccess]:
+        """Oldest write hitting the currently open row (piggyback
+        candidate — it must not disturb the burst's row, §3.2)."""
+        rank, bank = key
+        open_row = self.channel.ranks[rank].open_row(bank)
+        if open_row is None:
+            return None
+        for access in self._write_queues[key]:
+            if access.row == open_row and not self.write_is_war_blocked(
+                access
+            ):
+                return access
+        return None
+
+    def _arbitrate(self, key: BankKey, cycle: int = 0) -> None:
+        """One bank-arbiter step; mirrors Figure 5 line by line."""
+        ongoing = self._ongoing[key]
+        reads = self._read_queues[key]
+        writes = self._write_queues[key]
+        write_occupancy = self.pool.write_count
+        if ongoing is None:
+            selected: Optional[MemoryAccess] = None
+            if self.pool.write_queue_full:                 # line 2
+                selected = self._oldest_write(key)         # line 3
+            if (
+                selected is None
+                and self.write_piggybacking                # line 4
+                and write_occupancy > self.threshold
+                and self._end_of_burst[key]
+            ):
+                selected = self._oldest_row_hit_write(key)  # line 5
+                if selected is not None:
+                    selected.piggybacked = True
+            if (
+                selected is None
+                and writes
+                and self._outstanding_reads == 0            # line 6
+            ):
+                selected = self._oldest_write(key)          # line 7
+            if selected is None and reads:
+                if self._end_of_burst[key]:
+                    # At a burst boundary the next burst may be chosen
+                    # by an alternative policy (§7 future work).
+                    reads.promote_for_policy(
+                        self.inter_burst_policy, cycle
+                    )
+                selected = reads.next_burst.head            # line 8
+                self._end_of_burst[key] = False
+            self._ongoing[key] = selected
+        elif (
+            self.read_preemption                            # line 9
+            and ongoing.is_write
+            and reads
+            and write_occupancy < self.threshold
+        ):
+            # Line 10-11: the write returns to the write queue (it was
+            # never removed); any precharge/activate it already did
+            # persists in bank state, so the preempting read may find a
+            # row empty (§5.2).
+            ongoing.preempted = True
+            self.stats.preemptions += 1
+            self._ongoing[key] = reads.next_burst.head
+            self._end_of_burst[key] = False
+
+    # ------------------------------------------------------------------
+    # Transaction scheduler subroutine (Table 2 / Figure 6)
+    # ------------------------------------------------------------------
+
+    def _issue_and_retire(self, key: BankKey, access: MemoryAccess,
+                          cycle: int) -> None:
+        """Issue the next transaction; on column access retire it."""
+        kind = self.issue_for(access, cycle)
+        self._last_bank = key
+        self._last_rank = key[0]
+        if kind is COLUMN:
+            self._retire_column(key, access)
+
+    def _retire_column(self, key: BankKey, access: MemoryAccess) -> None:
+        """Drop an access from its queue once its data is scheduled."""
+        self._ongoing[key] = None
+        self._pending -= 1
+        if access.is_read:
+            queue = self._read_queues[key]
+            ended = queue.finish_head_read()
+            if ended:
+                self._end_of_burst[key] = True
+                self.stats.burst_sizes.add(queue.last_completed_size)
+        else:
+            # A completed write leaves the bank at a burst boundary;
+            # further row-hit writes may keep piggybacking (§3.2).
+            self._write_queues[key].remove(access)
+            self._end_of_burst[key] = True
+
+    def schedule(self, cycle: int) -> None:
+        if not self._pending:
+            return  # nothing queued or ongoing anywhere
+        for key in self._bank_keys:
+            self._arbitrate(key, cycle)
+        if not self.use_priority_table:
+            self._schedule_naive(cycle)
+            return
+
+        # Gather each bank's ongoing access with its next transaction
+        # kind and unblocked status.
+        ongoing = self._ongoing
+        unblocked: List[Tuple[BankKey, MemoryAccess, str]] = []
+        for key in self._bank_keys:
+            access = ongoing[key]
+            if access is None:
+                continue
+            if self.can_issue_access(access, cycle):
+                unblocked.append((key, access, self.next_command_kind(access)))
+        if not unblocked:
+            # Figure 6 lines 14-15: point the scheduler at the bank
+            # holding the oldest ongoing access so its rank is favoured
+            # next cycle.
+            oldest = None
+            for key in self._bank_keys:
+                access = ongoing[key]
+                if access is not None and (
+                    oldest is None or access.arrival < oldest[1].arrival
+                ):
+                    oldest = (key, access)
+            if oldest is not None:
+                self._last_bank = oldest[0]
+                self._last_rank = oldest[0][0]
+            return
+
+        def age(entry):
+            _, access, _ = entry
+            return (access.is_write, access.arrival)
+
+        # 1: unblocked column access in the last bank.
+        for entry in unblocked:
+            key, access, kind = entry
+            if kind is COLUMN and key == self._last_bank:
+                self._issue_and_retire(key, access, cycle)
+                return
+        # 2: oldest unblocked column access in the last rank.
+        same_rank = [
+            e for e in unblocked
+            if e[2] is COLUMN and e[0][0] == self._last_rank
+        ]
+        if same_rank:
+            key, access, _ = min(same_rank, key=age)
+            self._issue_and_retire(key, access, cycle)
+            return
+        # 3: oldest unblocked precharge or row activate (no data bus).
+        overhead = [e for e in unblocked if e[2] is not COLUMN]
+        if overhead:
+            key, access, _ = min(overhead, key=age)
+            self._issue_and_retire(key, access, cycle)
+            return
+        # 4: oldest unblocked column access in other ranks.
+        key, access, _ = min(unblocked, key=age)
+        self._issue_and_retire(key, access, cycle)
+
+
+    def _schedule_naive(self, cycle: int) -> None:
+        """Ablation: naive round-robin transaction issue.
+
+        Each bank's ongoing access still comes from the Figure 5
+        arbiter, but transactions are issued by scanning banks round
+        robin and firing the first unblocked one — no column-first,
+        rank-affinity or read-over-write priorities.  This is the
+        "best effort" issue style the paper attributes to RowHit and
+        Intel (§4.2); the priority-table ablation benchmark measures
+        what Table 2 is worth.
+        """
+        keys = self._bank_keys
+        n = len(keys)
+        for offset in range(n):
+            index = (self._rr + offset) % n
+            key = keys[index]
+            access = self._ongoing[key]
+            if access is None:
+                continue
+            if not self.can_issue_access(access, cycle):
+                continue
+            kind = self.issue_for(access, cycle)
+            if kind is COLUMN:
+                self._retire_column(key, access)
+                self._rr = (index + 1) % n
+            return
+
+
+__all__ = ["BurstScheduler"]

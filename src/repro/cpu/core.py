@@ -1,0 +1,229 @@
+"""Out-of-order core limit model (ROB/LSQ occupancy model).
+
+This is the closed-loop CPU that turns scheduler behaviour into
+execution time, replacing the paper's full M5 Alpha core with the
+three couplings that matter to memory scheduling (DESIGN.md §2):
+
+* **Read latency at the ROB head** — loads issue to the memory system
+  out of order as soon as they are fetched, but retire in order; a
+  load whose data has not returned blocks retirement, and a full ROB
+  then blocks fetch.  Memory-level parallelism is therefore bounded by
+  the 196-entry ROB and 32-entry LSQ of Table 3.
+* **Posted writes** — trace writes are L2 writebacks; they go straight
+  to the controller and never occupy the ROB.
+* **Back-pressure** — when the controller rejects an access because
+  the pool or the write queue is full, fetch stalls: the paper's
+  "write queue saturation may result in CPU pipeline stalls" (§5.1).
+
+The model retires/fetches up to ``width x (CPU clocks per memory
+clock)`` instructions per memory cycle (80 for the baseline), so one
+simulator tick advances both clock domains consistently.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional, Set, Union
+
+from repro.controller.access import AccessType, EnqueueStatus, MemoryAccess
+from repro.controller.system import MemorySystem
+from repro.errors import SchedulerError
+from repro.workloads.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class CoreResult:
+    """Outcome of one closed-loop run."""
+
+    mem_cycles: int
+    cpu_cycles: int
+    instructions: int
+    loads: int
+    stores: int
+    head_block_cycles: int
+    store_stall_cycles: int
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per CPU cycle."""
+        return self.instructions / self.cpu_cycles if self.cpu_cycles else 0.0
+
+
+class OoOCore:
+    """Replays a miss trace closed-loop against a memory system."""
+
+    def __init__(
+        self,
+        system: MemorySystem,
+        trace: Iterable[TraceRecord],
+    ) -> None:
+        self.system = system
+        cpu = system.config.cpu
+        self.rob_size = cpu.rob_entries
+        self.lsq_size = cpu.lsq_entries
+        self.budget_per_cycle = (
+            cpu.width * system.config.cpu_cycles_per_mem_cycle
+        )
+        self._trace = iter(trace)
+        # ROB entries: ints collapse runs of non-memory instructions;
+        # MemoryAccess entries are loads awaiting in-order retirement.
+        self._rob: Deque[Union[int, MemoryAccess]] = deque()
+        self._rob_occupancy = 0
+        self._staged: Optional[List] = None  # [gap_remaining, record]
+        self._trace_done = False
+        self._inflight_loads = 0
+        self._done_loads: Set[int] = set()
+        self._pending_store: Optional[MemoryAccess] = None
+        self.instructions = 0
+        self.loads = 0
+        self.stores = 0
+        self.head_block_cycles = 0
+        self.store_stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Pipeline stages (one call each per memory cycle)
+    # ------------------------------------------------------------------
+
+    def _retire(self) -> None:
+        budget = self.budget_per_cycle
+        rob = self._rob
+        while budget > 0 and rob:
+            head = rob[0]
+            if isinstance(head, int):
+                take = head if head <= budget else budget
+                budget -= take
+                self.instructions += take
+                self._rob_occupancy -= take
+                if take == head:
+                    rob.popleft()
+                else:
+                    rob[0] = head - take
+                continue
+            if head.id in self._done_loads:
+                self._done_loads.discard(head.id)
+                rob.popleft()
+                self._rob_occupancy -= 1
+                self.instructions += 1
+                budget -= 1
+                continue
+            # In-order retirement blocked on outstanding load data.
+            self.head_block_cycles += 1
+            return
+
+    def _stage_next(self) -> bool:
+        """Pull the next trace record; False when the trace is done."""
+        if self._staged is not None:
+            return True
+        if self._trace_done:
+            return False
+        record = next(self._trace, None)
+        if record is None:
+            self._trace_done = True
+            return False
+        self._staged = [record.gap, record]
+        return True
+
+    def _append_instructions(self, count: int) -> None:
+        rob = self._rob
+        if rob and isinstance(rob[-1], int):
+            rob[-1] += count
+        else:
+            rob.append(count)
+        self._rob_occupancy += count
+
+    def _fetch(self, cycle: int) -> None:
+        budget = self.budget_per_cycle
+        system = self.system
+        while budget > 0:
+            # A store rejected earlier blocks fetch until accepted.
+            if self._pending_store is not None:
+                status = system.enqueue(self._pending_store, cycle)
+                if status is EnqueueStatus.REJECTED_FULL:
+                    self.store_stall_cycles += 1
+                    return
+                self.stores += 1
+                self._pending_store = None
+            if not self._stage_next():
+                return
+            gap_remaining, record = self._staged
+            if gap_remaining > 0:
+                room = self.rob_size - self._rob_occupancy
+                take = min(budget, gap_remaining, room)
+                if take <= 0:
+                    return
+                self._append_instructions(take)
+                budget -= take
+                self._staged[0] = gap_remaining - take
+                if self._staged[0] > 0:
+                    continue
+            # Gap consumed: handle the memory operation itself.
+            if record.op is AccessType.WRITE:
+                access = system.make_access(
+                    AccessType.WRITE, record.address, cycle
+                )
+                self._staged = None
+                self._pending_store = access
+                continue
+            if self._rob_occupancy >= self.rob_size:
+                return
+            if self._inflight_loads >= self.lsq_size:
+                return
+            access = system.make_access(AccessType.READ, record.address, cycle)
+            status = system.enqueue(access, cycle)
+            if status is EnqueueStatus.REJECTED_FULL:
+                return
+            if status is EnqueueStatus.FORWARDED:
+                self._done_loads.add(access.id)
+            else:
+                self._inflight_loads += 1
+            self._rob.append(access)
+            self._rob_occupancy += 1
+            self.loads += 1
+            budget -= 1
+            self._staged = None
+
+    def step(self) -> None:
+        """Advance one memory cycle: retire, fetch/issue, tick memory."""
+        cycle = self.system.cycle
+        self._retire()
+        self._fetch(cycle)
+        for access in self.system.tick():
+            self._done_loads.add(access.id)
+            self._inflight_loads -= 1
+
+    @property
+    def done(self) -> bool:
+        return (
+            self._trace_done
+            and self._staged is None
+            and self._pending_store is None
+            and not self._rob
+            and self.system.idle
+        )
+
+    def run(self, max_cycles: int = 50_000_000) -> CoreResult:
+        """Run to completion; returns the execution-time result."""
+        while not self.done:
+            if self.system.cycle > max_cycles:
+                raise SchedulerError(
+                    f"CPU run exceeded {max_cycles} memory cycles"
+                )
+            self.step()
+        self.system.finalize()
+        mem_cycles = self.system.cycle
+        ratio = self.system.config.cpu_cycles_per_mem_cycle
+        self.system.stats.instructions = self.instructions
+        self.system.stats.cpu_stall_cycles = self.head_block_cycles
+        return CoreResult(
+            mem_cycles=mem_cycles,
+            cpu_cycles=mem_cycles * ratio,
+            instructions=self.instructions,
+            loads=self.loads,
+            stores=self.stores,
+            head_block_cycles=self.head_block_cycles,
+            store_stall_cycles=self.store_stall_cycles,
+        )
+
+
+__all__ = ["CoreResult", "OoOCore"]

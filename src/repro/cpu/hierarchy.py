@@ -1,0 +1,62 @@
+"""Two-level cache hierarchy producing main-memory access streams.
+
+Chains the L1 data cache and the unified L2 of Table 3: references
+filter through L1, L1 misses and writebacks filter through L2, and L2
+misses/writebacks emerge as the (READ linefill / WRITE writeback)
+stream the memory controller schedules.  This is how an example or a
+test can start from raw reference traces instead of pre-filtered miss
+streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.controller.access import AccessType
+from repro.cpu.cache import Cache
+
+#: One main-memory access: (AccessType, line-aligned byte address).
+MemoryOp = Tuple[AccessType, int]
+
+
+class CacheHierarchy:
+    """L1D in front of a unified L2 (instruction stream not modelled:
+    SPEC CPU2000 L1I miss traffic is negligible next to data misses)."""
+
+    def __init__(self, l1d: Cache = None, l2: Cache = None) -> None:
+        self.l1d = l1d if l1d is not None else Cache("L1D", 128 * 1024, 2)
+        self.l2 = l2 if l2 is not None else Cache("L2", 2 * 1024 * 1024, 16)
+
+    def access(self, address: int, is_write: bool) -> List[MemoryOp]:
+        """Run one data reference; returns resulting main-memory ops.
+
+        A clean L2 miss yields one READ linefill; evicting a dirty L2
+        victim adds a WRITE writeback — the write traffic the paper's
+        write queue buffers.
+        """
+        ops: List[MemoryOp] = []
+        hit, l1_writeback = self.l1d.access(address, is_write)
+        if l1_writeback is not None:
+            _, l2_writeback = self.l2.access(l1_writeback, True)
+            if l2_writeback is not None:
+                ops.append((AccessType.WRITE, l2_writeback))
+        if not hit:
+            l2_hit, l2_writeback = self.l2.access(address, False)
+            if l2_writeback is not None:
+                ops.append((AccessType.WRITE, l2_writeback))
+            if not l2_hit:
+                ops.append((AccessType.READ, address))
+        return ops
+
+    def drain(self) -> List[MemoryOp]:
+        """Flush both levels; returns the final writeback stream."""
+        ops: List[MemoryOp] = []
+        for line in self.l1d.flush():
+            _, wb = self.l2.access(line, True)
+            if wb is not None:
+                ops.append((AccessType.WRITE, wb))
+        ops.extend((AccessType.WRITE, line) for line in self.l2.flush())
+        return ops
+
+
+__all__ = ["CacheHierarchy", "MemoryOp"]

@@ -1,0 +1,146 @@
+"""In-order blocking core model.
+
+The paper's §2 premise is that *"with aggressive out of order
+execution processors and non-blocking caches, multiple main memory
+accesses can be issued and outstanding"* — reordering mechanisms only
+have material to work with because the CPU exposes memory-level
+parallelism.  :class:`InOrderCore` is the contrast case: a blocking
+core that stalls on every load until its data returns, so at most one
+read is ever outstanding.  The CPU-model ablation benchmark uses it to
+show the reordering win collapsing when MLP disappears.
+
+The trace interface and result type are shared with
+:class:`~repro.cpu.core.OoOCore`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.controller.access import AccessType, EnqueueStatus, MemoryAccess
+from repro.controller.system import MemorySystem
+from repro.cpu.core import CoreResult
+from repro.errors import SchedulerError
+from repro.workloads.trace import TraceRecord
+
+
+class InOrderCore:
+    """Single-outstanding-load blocking core."""
+
+    def __init__(self, system: MemorySystem, trace: Iterable[TraceRecord]):
+        self.system = system
+        cpu = system.config.cpu
+        # An in-order core still retires multiple instructions per
+        # cycle; only memory behaviour is blocking.
+        self.budget_per_cycle = (
+            cpu.width * system.config.cpu_cycles_per_mem_cycle
+        )
+        self._trace = iter(trace)
+        self._staged = None           # [gap_remaining, record]
+        self._trace_done = False
+        self._blocked_on: Optional[MemoryAccess] = None
+        self._pending_store: Optional[MemoryAccess] = None
+        self._done_ids = set()
+        self.instructions = 0
+        self.loads = 0
+        self.stores = 0
+        self.head_block_cycles = 0
+        self.store_stall_cycles = 0
+
+    def _stage_next(self) -> bool:
+        if self._staged is not None:
+            return True
+        if self._trace_done:
+            return False
+        record = next(self._trace, None)
+        if record is None:
+            self._trace_done = True
+            return False
+        self._staged = [record.gap, record]
+        return True
+
+    def step(self) -> None:
+        cycle = self.system.cycle
+        system = self.system
+        budget = self.budget_per_cycle
+        while budget > 0:
+            if self._blocked_on is not None:
+                if self._blocked_on.id not in self._done_ids:
+                    self.head_block_cycles += 1
+                    break
+                self._done_ids.discard(self._blocked_on.id)
+                self._blocked_on = None
+                self.instructions += 1
+                budget -= 1
+                continue
+            if self._pending_store is not None:
+                status = system.enqueue(self._pending_store, cycle)
+                if status is EnqueueStatus.REJECTED_FULL:
+                    self.store_stall_cycles += 1
+                    break
+                self.stores += 1
+                self._pending_store = None
+                continue
+            if not self._stage_next():
+                break
+            gap_remaining, record = self._staged
+            if gap_remaining > 0:
+                take = min(budget, gap_remaining)
+                self.instructions += take
+                budget -= take
+                self._staged[0] = gap_remaining - take
+                if self._staged[0] > 0:
+                    continue
+            if record.op is AccessType.WRITE:
+                self._pending_store = system.make_access(
+                    AccessType.WRITE, record.address, cycle
+                )
+                self._staged = None
+                continue
+            access = system.make_access(AccessType.READ, record.address, cycle)
+            status = system.enqueue(access, cycle)
+            if status is EnqueueStatus.REJECTED_FULL:
+                break
+            self.loads += 1
+            self._staged = None
+            if status is EnqueueStatus.FORWARDED:
+                self.instructions += 1
+                budget -= 1
+                continue
+            self._blocked_on = access      # stall until data returns
+            break
+        for access in system.tick():
+            self._done_ids.add(access.id)
+
+    @property
+    def done(self) -> bool:
+        return (
+            self._trace_done
+            and self._staged is None
+            and self._blocked_on is None
+            and self._pending_store is None
+            and self.system.idle
+        )
+
+    def run(self, max_cycles: int = 50_000_000) -> CoreResult:
+        while not self.done:
+            if self.system.cycle > max_cycles:
+                raise SchedulerError(
+                    f"in-order run exceeded {max_cycles} memory cycles"
+                )
+            self.step()
+        self.system.finalize()
+        mem_cycles = self.system.cycle
+        ratio = self.system.config.cpu_cycles_per_mem_cycle
+        return CoreResult(
+            mem_cycles=mem_cycles,
+            cpu_cycles=mem_cycles * ratio,
+            instructions=self.instructions,
+            loads=self.loads,
+            stores=self.stores,
+            head_block_cycles=self.head_block_cycles,
+            store_stall_cycles=self.store_stall_cycles,
+        )
+
+
+__all__ = ["InOrderCore"]

@@ -1,0 +1,54 @@
+"""Cycle-accurate SDRAM device substrate.
+
+This package models the DDR2 SDRAM devices the paper's revised M5 module
+simulates: banks with precharge/activate/column-access state machines,
+ranks with inter-bank constraints (tRRD, tFAW, tWTR) and auto refresh,
+and channels with a shared command bus and a data bus that enforces
+burst occupancy, direction turnaround and rank-to-rank turnaround
+(tRTRS) gaps.
+
+Public surface:
+
+* :class:`~repro.dram.timing.TimingParams` plus the presets
+  :data:`~repro.dram.timing.DDR2_800` (PC2-6400 5-5-5, the paper's
+  baseline), :data:`~repro.dram.timing.DDR_266` (PC-2100 2-2-2, used in
+  the paper's §6 discussion) and :data:`~repro.dram.timing.FIG1_DEVICE`
+  (the 2-2-2 burst-length-4 teaching device of Figure 1).
+* :class:`~repro.dram.bank.Bank`, :class:`~repro.dram.rank.Rank`,
+  :class:`~repro.dram.channel.Channel` — the device hierarchy.
+* :class:`~repro.dram.commands.Command` and
+  :class:`~repro.dram.commands.CommandType` — the SDRAM transactions
+  (bank precharge, row activate, column read/write, refresh).
+* :class:`~repro.dram.channel.RowState` — row hit / conflict / empty
+  classification used throughout the paper's evaluation.
+"""
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.timing import (
+    DDR2_800,
+    DDR_266,
+    FIG1_DEVICE,
+    TimingParams,
+)
+from repro.dram.bank import Bank, BankState
+from repro.dram.rank import Rank
+from repro.dram.channel import Channel, RowState
+from repro.dram.refresh import RefreshController
+from repro.dram.tracer import ChannelTracer, TracedCommand
+
+__all__ = [
+    "Bank",
+    "ChannelTracer",
+    "BankState",
+    "Channel",
+    "Command",
+    "CommandType",
+    "DDR2_800",
+    "DDR_266",
+    "FIG1_DEVICE",
+    "Rank",
+    "RefreshController",
+    "RowState",
+    "TracedCommand",
+    "TimingParams",
+]

@@ -1,0 +1,158 @@
+"""Per-bank SDRAM state machine.
+
+A bank is either *idle* (precharged) or *active* with one open row held
+in the sense amplifiers (§2 of the paper).  Commands become legal when
+both the state machine allows them and their earliest-issue cycles —
+updated by previously issued commands — have been reached.
+
+The bank never decides anything; it only validates and applies commands
+the controller issues, raising :class:`~repro.errors.ProtocolError` on
+violations.  Schedulers must consult ``can_*`` before issuing, which is
+exactly the paper's notion of a transaction being *unblocked* (§3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.dram.timing import TimingParams
+from repro.errors import ProtocolError
+
+
+class BankState(enum.Enum):
+    """Precharged or holding an open row."""
+
+    IDLE = "idle"
+    ACTIVE = "active"
+
+
+class Bank:
+    """One SDRAM bank: open-row tracking plus timing bookkeeping.
+
+    Earliest-issue cycles (``ready_*``) are maintained for each command
+    kind.  Rank- and channel-level constraints (tRRD, tFAW, tWTR, data
+    bus occupancy) are enforced one level up, in
+    :class:`~repro.dram.rank.Rank` and
+    :class:`~repro.dram.channel.Channel`.
+    """
+
+    def __init__(self, timing: TimingParams, index: int) -> None:
+        self.timing = timing
+        self.index = index
+        self.state = BankState.IDLE
+        self.open_row: Optional[int] = None
+        self.ready_activate = 0
+        self.ready_column = 0
+        self.ready_precharge = 0
+        # Statistics consumed by the analysis layer.
+        self.activate_count = 0
+        self.precharge_count = 0
+        self.column_count = 0
+
+    # ------------------------------------------------------------------
+    # Legality checks ("is this transaction unblocked at cycle t?")
+    # ------------------------------------------------------------------
+
+    def can_activate(self, cycle: int) -> bool:
+        """True when a row activate may issue this cycle."""
+        return self.state is BankState.IDLE and cycle >= self.ready_activate
+
+    def can_column(self, cycle: int, row: int) -> bool:
+        """True when a column access to ``row`` may issue this cycle.
+
+        Requires the bank to be active with ``row`` open and tRCD/tCCD
+        satisfied.  Data bus availability is checked by the channel.
+        """
+        return (
+            self.state is BankState.ACTIVE
+            and self.open_row == row
+            and cycle >= self.ready_column
+        )
+
+    def can_precharge(self, cycle: int) -> bool:
+        """True when the open row may be closed this cycle (tRAS etc.)."""
+        return self.state is BankState.ACTIVE and cycle >= self.ready_precharge
+
+    # ------------------------------------------------------------------
+    # Command application
+    # ------------------------------------------------------------------
+
+    def activate(self, cycle: int, row: int) -> None:
+        """Open ``row``; columns become legal after tRCD."""
+        if not self.can_activate(cycle):
+            raise ProtocolError(
+                f"bank {self.index}: illegal ACTIVATE at cycle {cycle} "
+                f"(state={self.state.value}, ready={self.ready_activate})"
+            )
+        t = self.timing
+        self.state = BankState.ACTIVE
+        self.open_row = row
+        self.ready_column = cycle + t.tRCD
+        self.ready_precharge = cycle + t.tRAS
+        self.ready_activate = cycle + t.tRC
+        self.activate_count += 1
+
+    def column(
+        self, cycle: int, row: int, is_read: bool, auto_precharge: bool = False
+    ) -> None:
+        """Issue a column access to the open row.
+
+        With ``auto_precharge`` (the close-page-autoprecharge row policy
+        of paper Table 1) the bank closes itself after the access with
+        no explicit PRECHARGE command on the bus; the next activate is
+        gated by the internal precharge time plus tRP.
+        """
+        if not self.can_column(cycle, row):
+            raise ProtocolError(
+                f"bank {self.index}: illegal column access at cycle {cycle} "
+                f"(state={self.state.value}, open_row={self.open_row}, "
+                f"requested row={row}, ready={self.ready_column})"
+            )
+        t = self.timing
+        self.ready_column = max(
+            self.ready_column, cycle + max(t.tCCD, t.data_cycles)
+        )
+        if is_read:
+            pre = cycle + t.read_to_precharge
+        else:
+            pre = cycle + t.write_to_precharge
+        self.ready_precharge = max(self.ready_precharge, pre)
+        self.column_count += 1
+        if auto_precharge:
+            self.state = BankState.IDLE
+            self.open_row = None
+            self.ready_activate = max(
+                self.ready_activate, self.ready_precharge + t.tRP
+            )
+            self.precharge_count += 1
+
+    def precharge(self, cycle: int) -> None:
+        """Close the open row; activates become legal after tRP."""
+        if not self.can_precharge(cycle):
+            raise ProtocolError(
+                f"bank {self.index}: illegal PRECHARGE at cycle {cycle} "
+                f"(state={self.state.value}, ready={self.ready_precharge})"
+            )
+        self.state = BankState.IDLE
+        self.open_row = None
+        self.ready_activate = max(
+            self.ready_activate, cycle + self.timing.tRP
+        )
+        self.precharge_count += 1
+
+    def apply_refresh(self, done_cycle: int) -> None:
+        """Block the bank until an in-progress rank refresh finishes."""
+        if self.state is not BankState.IDLE:
+            raise ProtocolError(
+                f"bank {self.index}: refresh with open row {self.open_row}"
+            )
+        self.ready_activate = max(self.ready_activate, done_cycle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Bank({self.index}, {self.state.value}, row={self.open_row})"
+        )
+
+
+__all__ = ["Bank", "BankState"]

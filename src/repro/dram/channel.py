@@ -1,0 +1,232 @@
+"""SDRAM channel: ranks sharing one command bus and one data bus.
+
+The SDRAM buses are split-transaction (§2.1), so transactions belonging
+to different accesses interleave freely — the channel only enforces the
+physical constraints:
+
+* at most one command on the address/command bus per cycle;
+* one burst at a time on the data bus, with a one-cycle gap on a
+  read/write direction change and a tRTRS gap when consecutive bursts
+  come from different ranks (the DDR2 rank-to-rank turnaround the paper
+  highlights in §3 and §3.3);
+* every bank/rank timing constraint, delegated downward.
+
+The channel is also where an access is classified as a *row hit*, *row
+conflict* or *row empty* against current bank state (§2), and where bus
+utilisation statistics — Figure 9(b) of the paper — are collected.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.rank import Rank
+from repro.dram.timing import TimingParams
+from repro.errors import ProtocolError
+
+
+class RowState(enum.Enum):
+    """How an access finds its target bank (paper §2, Table 1)."""
+
+    HIT = "hit"
+    CONFLICT = "conflict"
+    EMPTY = "empty"
+
+
+class Channel:
+    """Ranks of banks behind one shared command bus and data bus."""
+
+    def __init__(
+        self, timing: TimingParams, index: int, ranks: int, banks: int
+    ) -> None:
+        self.timing = timing
+        self.index = index
+        self.ranks: List[Rank] = [Rank(timing, r, banks) for r in range(ranks)]
+        self.banks_per_rank = banks
+        # Command bus: one command per cycle.
+        self._last_cmd_cycle = -1
+        # Data bus occupancy/turnaround state.
+        self.data_busy_until = 0
+        self._last_data_rank: Optional[int] = None
+        self._last_data_is_read: Optional[bool] = None
+        # Utilisation counters (Figure 9b).
+        self.cmd_bus_cycles = 0
+        self.data_bus_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+
+    def bank(self, rank: int, bank: int):
+        return self.ranks[rank].banks[bank]
+
+    def iter_banks(self):
+        """Yield ``(rank_index, bank_index, Bank)`` for every bank."""
+        for rank in self.ranks:
+            for bank in rank.banks:
+                yield rank.index, bank.index, bank
+
+    def classify(self, rank: int, bank: int, row: int) -> RowState:
+        """Row hit / conflict / empty for an access to ``row`` (§2)."""
+        open_row = self.ranks[rank].open_row(bank)
+        if open_row is None:
+            return RowState.EMPTY
+        if open_row == row:
+            return RowState.HIT
+        return RowState.CONFLICT
+
+    # ------------------------------------------------------------------
+    # Data-bus turnaround
+    # ------------------------------------------------------------------
+
+    def _data_start_gap(self, rank: int, is_read: bool) -> int:
+        """Idle cycles required before the next burst may start."""
+        if self._last_data_rank is None:
+            return 0
+        if self._last_data_rank != rank:
+            return self.timing.tRTRS
+        if self._last_data_is_read != is_read:
+            return 1
+        return 0
+
+    def data_bus_free(self, cycle: int, rank: int, is_read: bool) -> bool:
+        """Would a column access issued now find the data bus free?"""
+        latency = self.timing.tCL if is_read else self.timing.tCWL
+        start = cycle + latency
+        return start >= self.data_busy_until + self._data_start_gap(
+            rank, is_read
+        )
+
+    # ------------------------------------------------------------------
+    # Unblocked test — the paper's §3.3 definition
+    # ------------------------------------------------------------------
+
+    def can_issue(self, cmd: Command, cycle: int) -> bool:
+        """True when *all* timing constraints of ``cmd`` are met."""
+        if cycle <= self._last_cmd_cycle:
+            return False
+        rank = self.ranks[cmd.rank]
+        if (
+            cmd.kind is not CommandType.REFRESH
+            and cycle < rank.refresh_busy_until
+        ):
+            return False
+        if cmd.kind is CommandType.ACTIVATE:
+            assert cmd.row is not None
+            return rank.can_activate(cycle, cmd.bank)
+        if cmd.kind is CommandType.PRECHARGE:
+            return rank.can_precharge(cycle, cmd.bank)
+        if cmd.kind is CommandType.REFRESH:
+            return rank.can_refresh(cycle)
+        # Column access: bank, rank turnaround and data bus must agree.
+        assert cmd.row is not None
+        is_read = cmd.kind is CommandType.READ
+        if not rank.can_column(cycle, cmd.bank, cmd.row, is_read):
+            return False
+        return self.data_bus_free(cycle, cmd.rank, is_read)
+
+    # ------------------------------------------------------------------
+    # Issue
+    # ------------------------------------------------------------------
+
+    def issue(self, cmd: Command, cycle: int) -> Optional[int]:
+        """Drive ``cmd`` onto the command bus at ``cycle``.
+
+        Returns the last-data-beat cycle for column accesses and the
+        completion cycle for REFRESH; ``None`` for precharge/activate.
+        Raises :class:`~repro.errors.ProtocolError` if the command is
+        blocked — schedulers must check :meth:`can_issue` first.
+        """
+        if not self.can_issue(cmd, cycle):
+            raise ProtocolError(
+                f"channel {self.index}: blocked command {cmd} at {cycle}"
+            )
+        if cmd.kind is CommandType.ACTIVATE:
+            self.issue_activate(cycle, cmd.rank, cmd.bank, cmd.row)
+            return None
+        if cmd.kind is CommandType.PRECHARGE:
+            self.issue_precharge(cycle, cmd.rank, cmd.bank)
+            return None
+        if cmd.kind is CommandType.REFRESH:
+            self._claim_cmd_bus(cycle)
+            return self.ranks[cmd.rank].refresh(cycle)
+        is_read = cmd.kind is CommandType.READ
+        return self.issue_column(
+            cycle, cmd.rank, cmd.bank, cmd.row, is_read
+        )
+
+    def command_bus_free(self, cycle: int) -> bool:
+        """True when no command has been driven at ``cycle`` yet."""
+        return cycle > self._last_cmd_cycle
+
+    # ------------------------------------------------------------------
+    # Fast paths used by the scheduler hot loops.  These avoid building
+    # Command objects; semantics are identical to can_issue/issue.
+    # The caller is responsible for checking command_bus_free first
+    # (schedulers issue at most one command per cycle by construction).
+    # ------------------------------------------------------------------
+
+    def can_activate_at(self, cycle: int, rank: int, bank: int) -> bool:
+        r = self.ranks[rank]
+        return cycle >= r.refresh_busy_until and r.can_activate(cycle, bank)
+
+    def can_precharge_at(self, cycle: int, rank: int, bank: int) -> bool:
+        r = self.ranks[rank]
+        return cycle >= r.refresh_busy_until and r.can_precharge(cycle, bank)
+
+    def can_column_at(
+        self, cycle: int, rank: int, bank: int, row: int, is_read: bool
+    ) -> bool:
+        r = self.ranks[rank]
+        if cycle < r.refresh_busy_until:
+            return False
+        if not r.can_column(cycle, bank, row, is_read):
+            return False
+        return self.data_bus_free(cycle, rank, is_read)
+
+    def issue_activate(self, cycle: int, rank: int, bank: int, row: int) -> None:
+        self._claim_cmd_bus(cycle)
+        self.ranks[rank].activate(cycle, bank, row)
+
+    def issue_precharge(self, cycle: int, rank: int, bank: int) -> None:
+        self._claim_cmd_bus(cycle)
+        self.ranks[rank].precharge(cycle, bank)
+
+    def issue_column(
+        self,
+        cycle: int,
+        rank: int,
+        bank: int,
+        row: int,
+        is_read: bool,
+        auto_precharge: bool = False,
+    ) -> int:
+        """Issue READ/WRITE; returns the last-data-beat cycle."""
+        self._claim_cmd_bus(cycle)
+        data_end = self.ranks[rank].column(
+            cycle, bank, row, is_read, auto_precharge
+        )
+        self.data_busy_until = data_end
+        self._last_data_rank = rank
+        self._last_data_is_read = is_read
+        self.data_bus_cycles += self.timing.data_cycles
+        return data_end
+
+    def _claim_cmd_bus(self, cycle: int) -> None:
+        if cycle <= self._last_cmd_cycle:
+            raise ProtocolError(
+                f"channel {self.index}: command bus conflict at {cycle}"
+            )
+        self._last_cmd_cycle = cycle
+        self.cmd_bus_cycles += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel({self.index}, ranks={len(self.ranks)}, "
+            f"banks/rank={self.banks_per_rank})"
+        )
+
+
+__all__ = ["Channel", "RowState"]

@@ -1,0 +1,57 @@
+"""SDRAM command (transaction) types.
+
+The paper calls the unit the memory controller schedules on the SDRAM
+buses a *transaction*: bank precharge, row activate or column access
+(§2).  We add REFRESH for the auto-refresh maintenance commands the
+refresh controller issues.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CommandType(enum.Enum):
+    """The four SDRAM transaction kinds."""
+
+    PRECHARGE = "precharge"
+    ACTIVATE = "activate"
+    READ = "read"
+    WRITE = "write"
+    REFRESH = "refresh"
+
+    @property
+    def is_column(self) -> bool:
+        """True for the data-bus-using column accesses (READ/WRITE)."""
+        return self in (CommandType.READ, CommandType.WRITE)
+
+
+@dataclass(frozen=True)
+class Command:
+    """One SDRAM transaction addressed to a bank of a rank.
+
+    ``row`` is required for ACTIVATE, ``column`` for READ/WRITE;
+    PRECHARGE and REFRESH carry neither.  ``access_id`` links the
+    transaction back to the memory access it serves (None for refresh
+    maintenance commands).
+    """
+
+    kind: CommandType
+    rank: int
+    bank: int
+    row: Optional[int] = None
+    column: Optional[int] = None
+    access_id: Optional[int] = None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        loc = f"r{self.rank}b{self.bank}"
+        if self.kind is CommandType.ACTIVATE:
+            return f"ACT {loc} row={self.row}"
+        if self.kind.is_column:
+            return f"{self.kind.name} {loc} col={self.column}"
+        return f"{self.kind.name} {loc}"
+
+
+__all__ = ["Command", "CommandType"]

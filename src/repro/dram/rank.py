@@ -1,0 +1,139 @@
+"""SDRAM rank: a set of banks sharing inter-bank timing constraints.
+
+A rank is the set of devices selected together by one chip select
+(§2 of the paper).  Beyond containing its banks, a rank enforces:
+
+* **tRRD** — minimum spacing between activates to different banks.
+* **tFAW** — at most four activates in any rolling tFAW window.
+* **tWTR** — write data must finish tWTR before a read command to the
+  same rank (the internal write-to-read turnaround).
+* **refresh** — a REFRESH occupies the whole rank for tRFC and requires
+  every bank precharged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.timing import TimingParams
+from repro.errors import ProtocolError
+
+
+class Rank:
+    """Banks plus the rank-wide activation/turnaround bookkeeping."""
+
+    def __init__(self, timing: TimingParams, index: int, banks: int) -> None:
+        if banks <= 0:
+            raise ProtocolError(f"rank {index}: bank count must be positive")
+        self.timing = timing
+        self.index = index
+        self.banks: List[Bank] = [Bank(timing, b) for b in range(banks)]
+        self.ready_activate = 0          # tRRD / post-refresh gate
+        self.ready_read = 0              # tWTR gate
+        self._activate_times: Deque[int] = deque(maxlen=4)
+        self.refresh_count = 0
+        self.refresh_busy_until = 0
+
+    # ------------------------------------------------------------------
+    # Legality
+    # ------------------------------------------------------------------
+
+    def can_activate(self, cycle: int, bank: int) -> bool:
+        """True when bank ``bank`` may activate, counting rank limits."""
+        if cycle < self.ready_activate:
+            return False
+        if (
+            self.timing.tFAW is not None
+            and len(self._activate_times) == 4
+            and cycle < self._activate_times[0] + self.timing.tFAW
+        ):
+            return False
+        return self.banks[bank].can_activate(cycle)
+
+    def can_column(self, cycle: int, bank: int, row: int, is_read: bool) -> bool:
+        """True when the column access clears rank-level turnaround."""
+        if is_read and cycle < self.ready_read:
+            return False
+        return self.banks[bank].can_column(cycle, row)
+
+    def can_precharge(self, cycle: int, bank: int) -> bool:
+        return self.banks[bank].can_precharge(cycle)
+
+    def all_banks_idle(self) -> bool:
+        """True when every bank is precharged (refresh precondition)."""
+        return all(b.state is BankState.IDLE for b in self.banks)
+
+    def can_refresh(self, cycle: int) -> bool:
+        """True when a REFRESH command may issue this cycle."""
+        if not self.all_banks_idle():
+            return False
+        ready = max((b.ready_activate for b in self.banks), default=0)
+        return cycle >= max(ready, self.ready_activate)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+
+    def activate(self, cycle: int, bank: int, row: int) -> None:
+        if not self.can_activate(cycle, bank):
+            raise ProtocolError(
+                f"rank {self.index}: illegal ACTIVATE bank={bank} "
+                f"at cycle {cycle}"
+            )
+        self.banks[bank].activate(cycle, row)
+        self.ready_activate = max(
+            self.ready_activate, cycle + self.timing.tRRD
+        )
+        self._activate_times.append(cycle)
+
+    def column(
+        self,
+        cycle: int,
+        bank: int,
+        row: int,
+        is_read: bool,
+        auto_precharge: bool = False,
+    ) -> int:
+        """Issue a column access; returns the last-data-beat cycle."""
+        if not self.can_column(cycle, bank, row, is_read):
+            raise ProtocolError(
+                f"rank {self.index}: illegal column access bank={bank} "
+                f"at cycle {cycle}"
+            )
+        self.banks[bank].column(cycle, row, is_read, auto_precharge)
+        t = self.timing
+        if is_read:
+            data_end = cycle + t.tCL + t.data_cycles
+        else:
+            data_end = cycle + t.tCWL + t.data_cycles
+            self.ready_read = max(self.ready_read, data_end + t.tWTR)
+        return data_end
+
+    def precharge(self, cycle: int, bank: int) -> None:
+        self.banks[bank].precharge(cycle)
+
+    def refresh(self, cycle: int) -> int:
+        """Refresh the whole rank; returns the cycle it completes."""
+        if not self.can_refresh(cycle):
+            raise ProtocolError(
+                f"rank {self.index}: illegal REFRESH at cycle {cycle}"
+            )
+        done = cycle + self.timing.tRFC
+        for bank in self.banks:
+            bank.apply_refresh(done)
+        self.ready_activate = max(self.ready_activate, done)
+        self.refresh_busy_until = done
+        self.refresh_count += 1
+        return done
+
+    def open_row(self, bank: int) -> Optional[int]:
+        """The row currently open in ``bank`` (None when precharged)."""
+        return self.banks[bank].open_row
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Rank({self.index}, banks={len(self.banks)})"
+
+
+__all__ = ["Rank"]

@@ -1,0 +1,73 @@
+"""Auto-refresh controller.
+
+DDR2 devices require one REFRESH per rank every tREFI on average.  The
+paper leans on this in §5.2: *"With static open page policy, most row
+empties happen after SDRAM auto refreshes as banks are precharged."*
+
+The controller owns refresh correctness independently of the access
+scheduler: when a refresh is due for a rank it claims the command bus
+ahead of the scheduler, precharges any open banks of that rank and then
+issues REFRESH.  Schedulers therefore never see refresh logic — they
+simply lose a command slot occasionally, exactly like a real memory
+controller's maintenance engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dram.channel import Channel
+from repro.dram.commands import Command, CommandType
+
+
+class RefreshController:
+    """Issues per-rank auto refreshes on schedule, with bus priority."""
+
+    def __init__(self, channel: Channel) -> None:
+        self.channel = channel
+        self.enabled = channel.timing.tREFI is not None
+        interval = channel.timing.tREFI or 0
+        # Stagger ranks so their refreshes do not collide.
+        step = interval // max(len(channel.ranks), 1) if self.enabled else 0
+        self._due: List[int] = [
+            interval + r * step for r in range(len(channel.ranks))
+        ]
+
+    def pending_rank(self, cycle: int) -> Optional[int]:
+        """The lowest-numbered rank with a refresh due, if any."""
+        if not self.enabled:
+            return None
+        for rank_index, due in enumerate(self._due):
+            if cycle >= due:
+                return rank_index
+        return None
+
+    def tick(self, cycle: int) -> bool:
+        """Give the refresh engine first claim on this command slot.
+
+        Returns True when it used the command bus (the scheduler must
+        then stay quiet this cycle).
+        """
+        rank_index = self.pending_rank(cycle)
+        if rank_index is None:
+            return False
+        channel = self.channel
+        rank = channel.ranks[rank_index]
+        if rank.all_banks_idle():
+            refresh = Command(CommandType.REFRESH, rank_index, 0)
+            if channel.can_issue(refresh, cycle):
+                channel.issue(refresh, cycle)
+                assert channel.timing.tREFI is not None
+                self._due[rank_index] += channel.timing.tREFI
+                return True
+            return False
+        # Close open banks first; one precharge per cycle.
+        for bank in rank.banks:
+            pre = Command(CommandType.PRECHARGE, rank_index, bank.index)
+            if bank.open_row is not None and channel.can_issue(pre, cycle):
+                channel.issue(pre, cycle)
+                return True
+        return False
+
+
+__all__ = ["RefreshController"]

@@ -1,0 +1,296 @@
+"""SDRAM timing parameter sets.
+
+All values are expressed in *memory clock cycles* of the device bus
+clock (e.g. 400 MHz for DDR2-800).  Because the devices are double data
+rate, a burst of ``burst_length`` beats occupies ``burst_length // 2``
+clock cycles on the data bus.
+
+The names follow Micron datasheet conventions (see paper reference
+[10]):
+
+========  =====================================================
+tCL       column read command to first data beat
+tCWL      column write command to first data beat
+tRCD      row activate to column command
+tRP       bank precharge to row activate
+tRAS      row activate to bank precharge (minimum row open time)
+tRC       row activate to next row activate, same bank (tRAS+tRP)
+tWR       end of write data to precharge (write recovery)
+tWTR      end of write data to read command, same rank
+tRTP      read command to precharge
+tRRD      activate to activate, different banks of the same rank
+tFAW      rolling window for four activates within one rank
+tCCD      column command to column command, same rank
+tRTRS     rank-to-rank data bus turnaround (DDR2, paper ref [8])
+tREFI     average refresh interval (refresh becomes due)
+tRFC      refresh cycle time (rank busy after REFRESH)
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """A complete set of SDRAM timing constraints, in memory cycles.
+
+    Instances are immutable; the standard devices used by the paper are
+    provided as module-level presets (:data:`DDR2_800`, :data:`DDR_266`
+    and :data:`FIG1_DEVICE`).  ``tREFI`` may be ``None`` to disable
+    refresh entirely, which the unit tests use to obtain deterministic
+    latencies (paper Table 1 assumes idle buses and no refresh).
+    """
+
+    name: str
+    tCL: int
+    tRCD: int
+    tRP: int
+    tRAS: int
+    burst_length: int
+    tCWL: int
+    tWR: int
+    tWTR: int
+    tRTP: int
+    tRRD: int
+    tCCD: int
+    tRTRS: int
+    tFAW: Optional[int] = None
+    tREFI: Optional[int] = None
+    tRFC: int = 0
+    clock_mhz: int = 400
+
+    def __post_init__(self) -> None:
+        positive = {
+            "tCL": self.tCL,
+            "tRCD": self.tRCD,
+            "tRP": self.tRP,
+            "tRAS": self.tRAS,
+            "burst_length": self.burst_length,
+            "tCWL": self.tCWL,
+        }
+        for label, value in positive.items():
+            if value <= 0:
+                raise ConfigError(f"{label} must be positive, got {value}")
+        non_negative = {
+            "tWR": self.tWR,
+            "tWTR": self.tWTR,
+            "tRTP": self.tRTP,
+            "tRRD": self.tRRD,
+            "tCCD": self.tCCD,
+            "tRTRS": self.tRTRS,
+        }
+        for label, value in non_negative.items():
+            if value < 0:
+                raise ConfigError(f"{label} must be >= 0, got {value}")
+        if self.burst_length % 2:
+            raise ConfigError(
+                f"burst_length must be even on DDR devices, "
+                f"got {self.burst_length}"
+            )
+        if self.tRAS < self.tRCD:
+            raise ConfigError(
+                f"tRAS ({self.tRAS}) must cover tRCD ({self.tRCD})"
+            )
+        if self.tFAW is not None and self.tFAW < self.tRRD:
+            raise ConfigError(
+                f"tFAW ({self.tFAW}) must be >= tRRD ({self.tRRD})"
+            )
+        if self.tREFI is not None:
+            if self.tREFI <= 0:
+                raise ConfigError(f"tREFI must be positive, got {self.tREFI}")
+            if self.tRFC <= 0:
+                raise ConfigError(
+                    "tRFC must be positive when refresh is enabled"
+                )
+            if self.tRFC >= self.tREFI:
+                raise ConfigError(
+                    f"tRFC ({self.tRFC}) must be < tREFI ({self.tREFI})"
+                )
+
+    @property
+    def tRC(self) -> int:
+        """Activate-to-activate on the same bank."""
+        return self.tRAS + self.tRP
+
+    @property
+    def data_cycles(self) -> int:
+        """Clock cycles one burst occupies on the data bus (DDR)."""
+        return self.burst_length // 2
+
+    @property
+    def read_to_precharge(self) -> int:
+        """Read command to earliest precharge of the same bank."""
+        return max(self.tRTP, self.data_cycles)
+
+    @property
+    def write_to_precharge(self) -> int:
+        """Write command to earliest precharge of the same bank."""
+        return self.tCWL + self.data_cycles + self.tWR
+
+    def row_hit_latency(self) -> int:
+        """Command-to-last-data-beat latency of a row hit (Table 1)."""
+        return self.tCL + self.data_cycles
+
+    def row_empty_latency(self) -> int:
+        """Latency of an access to a precharged bank (Table 1)."""
+        return self.tRCD + self.tCL + self.data_cycles
+
+    def row_conflict_latency(self) -> int:
+        """Latency of an access conflicting with an open row (Table 1)."""
+        return self.tRP + self.tRCD + self.tCL + self.data_cycles
+
+
+#: DDR2 PC2-6400 with 5-5-5 timings at 400 MHz — the paper's baseline
+#: main memory (Table 3).  tREFI is 7.8 us and tRFC 127.5 ns expressed
+#: in 2.5 ns cycles.
+DDR2_800 = TimingParams(
+    name="DDR2-800 PC2-6400 5-5-5",
+    tCL=5,
+    tRCD=5,
+    tRP=5,
+    tRAS=18,
+    burst_length=8,
+    tCWL=4,
+    tWR=6,
+    tWTR=3,
+    tRTP=3,
+    tRRD=3,
+    tCCD=2,
+    tRTRS=2,
+    tFAW=18,
+    tREFI=3120,
+    tRFC=51,
+    clock_mhz=400,
+)
+
+#: DDR PC-2100 with 2-2-2 timings at 133 MHz — the older generation the
+#: paper's §6 compares against (row conflict 6 cycles vs 15).
+DDR_266 = TimingParams(
+    name="DDR-266 PC-2100 2-2-2",
+    tCL=2,
+    tRCD=2,
+    tRP=2,
+    tRAS=6,
+    burst_length=4,
+    tCWL=1,
+    tWR=2,
+    tWTR=1,
+    tRTP=2,
+    tRRD=2,
+    tCCD=1,
+    tRTRS=0,
+    tFAW=None,
+    tREFI=1040,
+    tRFC=10,
+    clock_mhz=133,
+)
+
+#: DDR-400 PC-3200 3-3-3 at 200 MHz — between the generations the
+#: paper's §6 compares.
+DDR_400 = TimingParams(
+    name="DDR-400 PC-3200 3-3-3",
+    tCL=3,
+    tRCD=3,
+    tRP=3,
+    tRAS=8,
+    burst_length=4,
+    tCWL=1,
+    tWR=3,
+    tWTR=2,
+    tRTP=2,
+    tRRD=2,
+    tCCD=1,
+    tRTRS=1,
+    tFAW=None,
+    tREFI=1560,
+    tRFC=21,
+    clock_mhz=200,
+)
+
+#: DDR2-533 PC2-4200 4-4-4 at 266 MHz.
+DDR2_533 = TimingParams(
+    name="DDR2-533 PC2-4200 4-4-4",
+    tCL=4,
+    tRCD=4,
+    tRP=4,
+    tRAS=12,
+    burst_length=8,
+    tCWL=3,
+    tWR=4,
+    tWTR=2,
+    tRTP=2,
+    tRRD=2,
+    tCCD=2,
+    tRTRS=2,
+    tFAW=13,
+    tREFI=2080,
+    tRFC=34,
+    clock_mhz=266,
+)
+
+#: A DDR3-1333 9-9-9 device (2009 mainstream) — the §6 extrapolation:
+#: bus frequency keeps outpacing the core timing parameters, so access
+#: latency in cycles keeps growing (row conflict: 6 cycles on DDR-266,
+#: 15 on DDR2-800, 27 here) and reordering matters even more.
+DDR3_1333 = TimingParams(
+    name="DDR3-1333 9-9-9",
+    tCL=9,
+    tRCD=9,
+    tRP=9,
+    tRAS=24,
+    burst_length=8,
+    tCWL=7,
+    tWR=10,
+    tWTR=5,
+    tRTP=5,
+    tRRD=4,
+    tCCD=4,
+    tRTRS=2,
+    tFAW=20,
+    tREFI=5200,
+    tRFC=74,
+    clock_mhz=666,
+)
+
+#: The §6 device-generation ladder, oldest first.
+GENERATIONS = (DDR_266, DDR_400, DDR2_533, DDR2_800, DDR3_1333)
+
+#: The teaching device of the paper's Figure 1: 2-2-2 timings with a
+#: burst length of 4 (2 data cycles), no refresh, relaxed secondary
+#: constraints.  With it, four accesses (two row empties followed by
+#: two row conflicts) take 28 cycles in order and 16 out of order.
+FIG1_DEVICE = TimingParams(
+    name="Figure-1 2-2-2 BL4",
+    tCL=2,
+    tRCD=2,
+    tRP=2,
+    tRAS=4,
+    burst_length=4,
+    tCWL=1,
+    tWR=1,
+    tWTR=1,
+    tRTP=2,
+    tRRD=1,
+    tCCD=1,
+    tRTRS=0,
+    tFAW=None,
+    tREFI=None,
+    tRFC=0,
+    clock_mhz=100,
+)
+
+__all__ = [
+    "DDR2_533",
+    "DDR2_800",
+    "DDR3_1333",
+    "DDR_266",
+    "DDR_400",
+    "FIG1_DEVICE",
+    "GENERATIONS",
+    "TimingParams",
+]

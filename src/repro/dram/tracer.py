@@ -1,0 +1,112 @@
+"""Command-level channel tracing.
+
+:class:`ChannelTracer` hooks a :class:`~repro.dram.channel.Channel`'s
+issue paths and records every SDRAM transaction with its cycle — the
+machine-readable equivalent of the paper's Figure 1 timing diagrams.
+It is used by the Figure 1 experiment's rendering, by tests that
+assert on exact command schedules, and as a debugging aid::
+
+    tracer = ChannelTracer(system.channels[0])
+    ...run...
+    print(tracer.render())
+
+Tracing costs one extra function call per command; detach with
+:meth:`ChannelTracer.detach` to restore the original methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dram.channel import Channel
+
+
+@dataclass(frozen=True)
+class TracedCommand:
+    """One SDRAM transaction as observed on the command bus."""
+
+    cycle: int
+    kind: str            # ACT / PRE / RD / WR
+    rank: int
+    bank: int
+    row: Optional[int]
+    data_end: Optional[int]
+
+    def __str__(self) -> str:
+        location = f"r{self.rank}b{self.bank}"
+        if self.kind == "ACT":
+            return f"{self.cycle:4d} ACT {location} row={self.row}"
+        if self.kind == "PRE":
+            return f"{self.cycle:4d} PRE {location}"
+        return (
+            f"{self.cycle:4d} {self.kind}  {location} row={self.row} "
+            f"data_end={self.data_end}"
+        )
+
+
+class ChannelTracer:
+    """Records every command a channel issues."""
+
+    def __init__(self, channel: Channel) -> None:
+        self.channel = channel
+        self.commands: List[TracedCommand] = []
+        self._orig_activate = channel.issue_activate
+        self._orig_precharge = channel.issue_precharge
+        self._orig_column = channel.issue_column
+        channel.issue_activate = self._activate
+        channel.issue_precharge = self._precharge
+        channel.issue_column = self._column
+
+    # ------------------------------------------------------------------
+    # Wrapped issue paths
+    # ------------------------------------------------------------------
+
+    def _activate(self, cycle, rank, bank, row):
+        result = self._orig_activate(cycle, rank, bank, row)
+        self.commands.append(
+            TracedCommand(cycle, "ACT", rank, bank, row, None)
+        )
+        return result
+
+    def _precharge(self, cycle, rank, bank):
+        result = self._orig_precharge(cycle, rank, bank)
+        self.commands.append(
+            TracedCommand(cycle, "PRE", rank, bank, None, None)
+        )
+        return result
+
+    def _column(self, cycle, rank, bank, row, is_read, auto_precharge=False):
+        data_end = self._orig_column(
+            cycle, rank, bank, row, is_read, auto_precharge
+        )
+        self.commands.append(
+            TracedCommand(
+                cycle, "RD" if is_read else "WR", rank, bank, row, data_end
+            )
+        )
+        return data_end
+
+    # ------------------------------------------------------------------
+
+    def detach(self) -> None:
+        """Restore the channel's unwrapped issue methods."""
+        self.channel.issue_activate = self._orig_activate
+        self.channel.issue_precharge = self._orig_precharge
+        self.channel.issue_column = self._orig_column
+
+    def render(self) -> str:
+        """The schedule as one line per command (Figure 1 style)."""
+        return "\n".join(str(command) for command in self.commands)
+
+    @property
+    def last_data_end(self) -> int:
+        """Completion cycle of the schedule's final data transfer."""
+        ends = [c.data_end for c in self.commands if c.data_end is not None]
+        return max(ends) if ends else 0
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+
+__all__ = ["ChannelTracer", "TracedCommand"]

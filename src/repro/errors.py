@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, inconsistent or out of range."""
+
+
+class ProtocolError(ReproError):
+    """An SDRAM command was issued in violation of the device protocol.
+
+    This is raised by the DRAM substrate when a scheduler attempts an
+    illegal command (e.g. a column access to a closed bank, or a command
+    before its timing constraints are satisfied).  A correct scheduler
+    never triggers it; the test suite uses it to assert protocol safety.
+    """
+
+
+class SchedulerError(ReproError):
+    """An access-reordering mechanism reached an inconsistent state."""
+
+
+class PoolError(ReproError):
+    """The shared access pool was used incorrectly (overflow/underflow)."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or cannot be parsed."""
+
+
+class MappingError(ReproError):
+    """An address cannot be translated by the active mapping scheme."""

@@ -1,0 +1,47 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each experiment module exposes a ``run(...)`` function returning a
+structured result plus a ``render(result)`` function producing the
+plain-text table/series the paper reports.  ``repro-experiments``
+(see :mod:`repro.experiments.cli`) runs them from the command line,
+and the ``benchmarks/`` suite wraps each one with pytest-benchmark.
+
+========== ==========================================================
+table1     SDRAM access latencies under OP/CPA (paper Table 1)
+fig1       in-order vs out-of-order example, 28 vs 16 cycles (Fig. 1)
+fig7       average read/write latency per mechanism (Fig. 7)
+fig8       outstanding access distributions, swim (Fig. 8)
+fig9       row hit/conflict/empty and bus utilisation (Fig. 9)
+fig10      normalized execution time per benchmark (Fig. 10)
+fig11      outstanding accesses vs threshold, swim (Fig. 11)
+fig12      latency & execution time vs threshold (Fig. 12)
+saturation write queue saturation rates, swim (§5.1)
+========== ==========================================================
+"""
+
+from repro.experiments import (  # noqa: F401  (registry import)
+    fig1,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    saturation,
+    table1,
+)
+from repro.experiments.common import run_benchmark, run_matrix
+
+EXPERIMENTS = {
+    "table1": table1,
+    "fig1": fig1,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "saturation": saturation,
+}
+
+__all__ = ["EXPERIMENTS", "run_benchmark", "run_matrix"]

@@ -1,0 +1,77 @@
+"""Command line entry point: ``repro-experiments``.
+
+Examples::
+
+    repro-experiments list
+    repro-experiments run fig10
+    repro-experiments run all
+    REPRO_SCALE=0.5 repro-experiments run fig12   # quicker sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'A Burst Scheduling "
+            "Access Reordering Mechanism' (HPCA 2007)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("experiment", help="experiment id or 'all'")
+    reporter = sub.add_parser(
+        "report", help="run everything and write EXPERIMENTS.md"
+    )
+    reporter.add_argument(
+        "path", nargs="?", default="EXPERIMENTS.md",
+        help="output path (default: EXPERIMENTS.md)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the repro-experiments command."""
+    from repro.experiments import EXPERIMENTS
+
+    args = _build_parser().parse_args(argv)
+    if args.command == "report":
+        from repro.experiments.report import write_report
+
+        path = write_report(args.path)
+        print(f"wrote {path}")
+        return 0
+    if args.command == "list":
+        for name, module in EXPERIMENTS.items():
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:12s} {summary}")
+        return 0
+    names = (
+        list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s) {unknown}; "
+            f"available: {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        started = time.time()
+        print(f"== {name} ==")
+        print(EXPERIMENTS[name].main())
+        print(f"[{name} took {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

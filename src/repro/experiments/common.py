@@ -1,0 +1,132 @@
+"""Shared machinery for the experiment modules.
+
+* :func:`run_benchmark` — one (benchmark, mechanism) closed-loop run,
+  memoised so experiments that share cells (fig7/fig9/fig10 all use
+  the same matrix) don't recompute them.
+* :func:`run_matrix` — the full benchmark x mechanism sweep.
+* Scaling knobs: ``REPRO_SCALE`` multiplies the default access counts
+  (use 0.25 for a quick look, 4 for a long, low-noise run) and
+  ``REPRO_SEED`` changes the workload seed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.controller.system import MemorySystem
+from repro.cpu.core import CoreResult, OoOCore
+from repro.sim.config import SystemConfig, baseline_config
+from repro.sim.stats import SimStats
+from repro.workloads.spec2000 import benchmark_names, make_benchmark_trace
+
+#: Accesses per benchmark run before REPRO_SCALE is applied.
+DEFAULT_ACCESSES = 6000
+
+#: Paper Table 4 mechanism order, used by every per-mechanism figure.
+MECHANISMS = (
+    "BkInOrder",
+    "RowHit",
+    "Intel",
+    "Intel_RP",
+    "Burst",
+    "Burst_RP",
+    "Burst_WP",
+    "Burst_TH",
+)
+
+
+def scale() -> float:
+    """The REPRO_SCALE multiplier (default 1.0)."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def default_seed() -> int:
+    """The REPRO_SEED workload seed (default 1)."""
+    return int(os.environ.get("REPRO_SEED", "1"))
+
+
+def scaled_accesses(accesses: Optional[int] = None) -> int:
+    """Apply REPRO_SCALE; keeps at least 500 accesses for stability."""
+    base = DEFAULT_ACCESSES if accesses is None else accesses
+    return max(500, int(base * scale()))
+
+
+_cache: Dict[Tuple, Tuple[SimStats, CoreResult]] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoised runs (tests use this between configurations)."""
+    _cache.clear()
+
+
+def run_benchmark(
+    benchmark: str,
+    mechanism: str,
+    accesses: Optional[int] = None,
+    config: Optional[SystemConfig] = None,
+    seed: Optional[int] = None,
+    threshold: Optional[int] = None,
+) -> SimStats:
+    """Run one benchmark through one mechanism; returns its stats."""
+    stats, _ = run_benchmark_full(
+        benchmark, mechanism, accesses, config, seed, threshold
+    )
+    return stats
+
+
+def run_benchmark_full(
+    benchmark: str,
+    mechanism: str,
+    accesses: Optional[int] = None,
+    config: Optional[SystemConfig] = None,
+    seed: Optional[int] = None,
+    threshold: Optional[int] = None,
+) -> Tuple[SimStats, CoreResult]:
+    """Memoised closed-loop run returning (stats, core result)."""
+    n = scaled_accesses(accesses)
+    seed = default_seed() if seed is None else seed
+    cfg = config if config is not None else baseline_config()
+    if threshold is not None:
+        cfg = cfg.with_threshold(threshold)
+    key = (benchmark, mechanism, n, seed, cfg)
+    hit = _cache.get(key)
+    if hit is not None:
+        return hit
+    trace = make_benchmark_trace(benchmark, n, seed)
+    system = MemorySystem(cfg, mechanism)
+    result = OoOCore(system, trace).run()
+    _cache[key] = (system.stats, result)
+    return system.stats, result
+
+
+def run_matrix(
+    benchmarks: Optional[Iterable[str]] = None,
+    mechanisms: Optional[Iterable[str]] = None,
+    accesses: Optional[int] = None,
+    config: Optional[SystemConfig] = None,
+    seed: Optional[int] = None,
+) -> Dict[Tuple[str, str], Tuple[SimStats, CoreResult]]:
+    """Run the benchmark x mechanism sweep behind Figures 7, 9 and 10."""
+    benchmarks = list(benchmarks) if benchmarks else benchmark_names()
+    mechanisms = list(mechanisms) if mechanisms else list(MECHANISMS)
+    results = {}
+    for benchmark in benchmarks:
+        for mechanism in mechanisms:
+            results[(benchmark, mechanism)] = run_benchmark_full(
+                benchmark, mechanism, accesses, config, seed
+            )
+    return results
+
+
+__all__ = [
+    "DEFAULT_ACCESSES",
+    "MECHANISMS",
+    "clear_cache",
+    "default_seed",
+    "run_benchmark",
+    "run_benchmark_full",
+    "run_matrix",
+    "scale",
+    "scaled_accesses",
+]

@@ -1,0 +1,28 @@
+"""SDRAM address mapping schemes.
+
+An address mapping translates a physical (cache-line-aligned) address
+into the device coordinates ``(channel, rank, bank, row, column)``.
+The paper's baseline uses *page interleaving* (Table 3); §7 points at
+bit-reversal [16] and permutation-based [23] mappings as future work,
+so those are implemented as well and exercised by the mapping ablation
+benchmark.
+"""
+
+from repro.mapping.base import AddressMapping, DecodedAddress
+from repro.mapping.schemes import (
+    BitReversalMapping,
+    CachelineInterleaveMapping,
+    PageInterleaveMapping,
+    PermutationMapping,
+    make_mapping,
+)
+
+__all__ = [
+    "AddressMapping",
+    "BitReversalMapping",
+    "CachelineInterleaveMapping",
+    "DecodedAddress",
+    "PageInterleaveMapping",
+    "PermutationMapping",
+    "make_mapping",
+]

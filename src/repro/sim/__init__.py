@@ -1,0 +1,13 @@
+"""Simulation core: configuration, clocking and statistics."""
+
+from repro.sim.config import CPUConfig, SystemConfig, baseline_config
+from repro.sim.stats import Histogram, LatencyStat, SimStats
+
+__all__ = [
+    "CPUConfig",
+    "Histogram",
+    "LatencyStat",
+    "SimStats",
+    "SystemConfig",
+    "baseline_config",
+]

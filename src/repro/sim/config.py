@@ -1,0 +1,151 @@
+"""System configuration — the paper's Table 3 baseline machine.
+
+The baseline represents "a typical desktop workstation in the near
+future" (from 2007): a 4 GHz 8-wide out-of-order CPU over 4 GB of DDR2
+PC2-6400 organised as 2 channels x 4 ranks x 4 banks (32 banks total),
+open-page row policy, page-interleaved address mapping, and a memory
+access pool of 256 entries of which at most 64 may be writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.dram.timing import DDR2_800, TimingParams
+from repro.errors import ConfigError
+
+#: Row-buffer management policies: the two static ones of paper §2 /
+#: Table 1 plus the history-based predictor of paper ref [22].
+OPEN_PAGE = "open_page"
+CLOSE_PAGE_AUTOPRECHARGE = "close_page_autoprecharge"
+PREDICTIVE = "predictive"
+ROW_POLICIES = (OPEN_PAGE, CLOSE_PAGE_AUTOPRECHARGE, PREDICTIVE)
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """The processor-side limits of Table 3 that reach the memory system.
+
+    Only the parameters that couple the CPU to memory scheduling are
+    modelled (see DESIGN.md §2): issue/retire width, reorder buffer and
+    load/store queue occupancy limits, and the clock ratio between the
+    4 GHz core and the 400 MHz memory bus.
+    """
+
+    freq_ghz: float = 4.0
+    width: int = 8
+    rob_entries: int = 196
+    lsq_entries: int = 32
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.rob_entries <= 0 or self.lsq_entries <= 0:
+            raise ConfigError("CPU width/ROB/LSQ must be positive")
+        if self.freq_ghz <= 0:
+            raise ConfigError("CPU frequency must be positive")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full machine configuration (paper Table 3).
+
+    ``threshold`` is the Burst_TH write-queue occupancy threshold; the
+    paper's experimentally best value is 52 out of a 64-entry write
+    queue (§5.4).
+    """
+
+    timing: TimingParams = DDR2_800
+    channels: int = 2
+    ranks: int = 4
+    banks: int = 4
+    rows: int = 16384
+    row_bytes: int = 8192
+    line_bytes: int = 64
+    pool_size: int = 256
+    write_queue_size: int = 64
+    threshold: int = 52
+    row_policy: str = OPEN_PAGE
+    mapping: str = "page_interleave"
+    cpu: CPUConfig = field(default_factory=CPUConfig)
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("channels", self.channels),
+            ("ranks", self.ranks),
+            ("banks", self.banks),
+            ("rows", self.rows),
+            ("row_bytes", self.row_bytes),
+            ("line_bytes", self.line_bytes),
+            ("pool_size", self.pool_size),
+            ("write_queue_size", self.write_queue_size),
+        ):
+            if value <= 0:
+                raise ConfigError(f"{label} must be positive, got {value}")
+        if self.row_policy not in ROW_POLICIES:
+            raise ConfigError(
+                f"row_policy must be one of {ROW_POLICIES}, "
+                f"got {self.row_policy!r}"
+            )
+        if self.row_bytes % self.line_bytes:
+            raise ConfigError("row_bytes must be a multiple of line_bytes")
+        if self.write_queue_size > self.pool_size:
+            raise ConfigError("write queue cannot exceed the access pool")
+        if not 0 <= self.threshold <= self.write_queue_size:
+            raise ConfigError(
+                f"threshold must lie in [0, {self.write_queue_size}], "
+                f"got {self.threshold}"
+            )
+        for label, value in (
+            ("channels", self.channels),
+            ("ranks", self.ranks),
+            ("banks", self.banks),
+            ("rows", self.rows),
+        ):
+            if value & (value - 1):
+                raise ConfigError(
+                    f"{label} must be a power of two for address mapping, "
+                    f"got {value}"
+                )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def columns_per_row(self) -> int:
+        """Cache-line-sized columns in one row (128 for 8KB/64B)."""
+        return self.row_bytes // self.line_bytes
+
+    @property
+    def total_banks(self) -> int:
+        """All banks across channels and ranks (32 in the baseline)."""
+        return self.channels * self.ranks * self.banks
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total memory capacity implied by the geometry (4 GB)."""
+        return self.total_banks * self.rows * self.row_bytes
+
+    @property
+    def cpu_cycles_per_mem_cycle(self) -> int:
+        """CPU clocks per memory clock (10 for 4 GHz over DDR2-800)."""
+        ratio = self.cpu.freq_ghz * 1000.0 / self.timing.clock_mhz
+        return max(1, round(ratio))
+
+    def with_threshold(self, threshold: int) -> "SystemConfig":
+        """A copy with a different Burst_TH threshold (§5.4 sweeps)."""
+        return replace(self, threshold=threshold)
+
+
+def baseline_config(**overrides) -> SystemConfig:
+    """The Table 3 baseline machine; keyword overrides for variants."""
+    return replace(SystemConfig(), **overrides) if overrides else SystemConfig()
+
+
+__all__ = [
+    "CLOSE_PAGE_AUTOPRECHARGE",
+    "CPUConfig",
+    "OPEN_PAGE",
+    "ROW_POLICIES",
+    "SystemConfig",
+    "baseline_config",
+]

@@ -1,0 +1,90 @@
+"""Simulation drivers.
+
+Two ways to push traffic through a :class:`~repro.controller.system.
+MemorySystem`:
+
+* :class:`OpenLoopDriver` — replays timestamped requests regardless of
+  completion (infinite MLP).  Used by unit tests, the Figure 1
+  experiment and micro-benchmarks where CPU coupling is not wanted.
+* The closed-loop CPU models live in :mod:`repro.cpu` and couple
+  execution time to read latency and pool back-pressure; they are what
+  the paper's execution-time figures use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Tuple
+
+from repro.controller.access import AccessType, EnqueueStatus, MemoryAccess
+from repro.controller.system import MemorySystem
+from repro.errors import SchedulerError
+
+#: (arrival_cycle, AccessType, physical_address)
+Request = Tuple[int, AccessType, int]
+
+
+class OpenLoopDriver:
+    """Replays a timestamped request stream into a memory system.
+
+    Requests whose arrival cycle has passed are enqueued in order; a
+    rejected (pool-full) request retries every cycle, blocking the ones
+    behind it — the memory system is the only source of back-pressure.
+    """
+
+    def __init__(self, system: MemorySystem, requests: Iterable[Request]):
+        self.system = system
+        self._pending = deque(sorted(requests, key=lambda r: r[0]))
+        self._staged: deque = deque()
+        self.completed: List[MemoryAccess] = []
+        self.issued = 0
+
+    def _stage(self, cycle: int) -> None:
+        while self._pending and self._pending[0][0] <= cycle:
+            arrival, type_, address = self._pending.popleft()
+            self._staged.append(self.system.make_access(type_, address, arrival))
+
+    def step(self) -> None:
+        """Enqueue everything due, then advance one memory cycle."""
+        cycle = self.system.cycle
+        self._stage(cycle)
+        while self._staged:
+            access = self._staged[0]
+            status = self.system.enqueue(access, cycle)
+            if status is EnqueueStatus.REJECTED_FULL:
+                break
+            self._staged.popleft()
+            self.issued += 1
+            if status is EnqueueStatus.FORWARDED:
+                self.completed.append(access)
+        self.completed.extend(self.system.tick())
+
+    @property
+    def done(self) -> bool:
+        return (
+            not self._pending and not self._staged and self.system.idle
+        )
+
+    def run(self, max_cycles: int = 10_000_000) -> int:
+        """Run to drain; returns the final cycle count."""
+        while not self.done:
+            if self.system.cycle > max_cycles:
+                raise SchedulerError(
+                    f"simulation exceeded {max_cycles} cycles without "
+                    f"draining (pool={self.system.pool.count})"
+                )
+            self.step()
+        self.system.finalize()
+        return self.system.cycle
+
+
+def run_requests(
+    system: MemorySystem,
+    requests: Iterable[Request],
+    max_cycles: int = 10_000_000,
+) -> int:
+    """Convenience wrapper: drive ``requests`` open loop to drain."""
+    return OpenLoopDriver(system, requests).run(max_cycles)
+
+
+__all__ = ["OpenLoopDriver", "Request", "run_requests"]

@@ -1,0 +1,225 @@
+"""Statistics primitives and the per-run statistics bundle.
+
+Everything the paper's evaluation section plots comes out of
+:class:`SimStats`:
+
+* read/write latency in SDRAM cycles (Figure 7, Figure 12);
+* time-weighted distributions of outstanding reads and writes
+  (Figure 8, Figure 11);
+* row hit / row conflict / row empty counts (Figure 9a);
+* address and data bus utilisation (Figure 9b);
+* write-queue saturation time (§5.1, §5.4);
+* execution time in cycles (Figure 10, Figure 12).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from repro.dram.channel import RowState
+
+
+class LatencyStat:
+    """Streaming mean/min/max accumulator for latency samples."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def add(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average of all samples; 0.0 when empty."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "LatencyStat") -> None:
+        """Fold another accumulator into this one."""
+        self.count += other.count
+        self.total += other.total
+        for bound in ("min", "max"):
+            theirs = getattr(other, bound)
+            if theirs is None:
+                continue
+            ours = getattr(self, bound)
+            if ours is None:
+                setattr(self, bound, theirs)
+            elif bound == "min":
+                setattr(self, bound, min(ours, theirs))
+            else:
+                setattr(self, bound, max(ours, theirs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LatencyStat(n={self.count}, mean={self.mean:.1f})"
+
+
+class Histogram:
+    """Integer-keyed histogram with optional weights.
+
+    Used time-weighted: the simulator adds one sample per memory cycle
+    keyed by the number of outstanding accesses, which is precisely the
+    paper's "percentage of time that a given number of accesses are
+    outstanding" (Figure 8).
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[int, int] = defaultdict(int)
+
+    def add(self, key: int, weight: int = 1) -> None:
+        self.counts[key] += weight
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, key: int) -> float:
+        """Share of total weight at ``key``."""
+        total = self.total
+        return self.counts.get(key, 0) / total if total else 0.0
+
+    def fraction_at_least(self, key: int) -> float:
+        """Share of total weight at or above ``key``."""
+        total = self.total
+        if not total:
+            return 0.0
+        return sum(v for k, v in self.counts.items() if k >= key) / total
+
+    def mean(self) -> float:
+        total = self.total
+        if not total:
+            return 0.0
+        return sum(k * v for k, v in self.counts.items()) / total
+
+    def series(self) -> Iterable[Tuple[int, float]]:
+        """(key, fraction) pairs sorted by key — a paper figure series."""
+        total = self.total
+        if not total:
+            return []
+        return [(k, v / total) for k, v in sorted(self.counts.items())]
+
+
+@dataclass
+class SimStats:
+    """Everything one simulation run reports."""
+
+    cycles: int = 0
+    read_latency: LatencyStat = field(default_factory=LatencyStat)
+    write_latency: LatencyStat = field(default_factory=LatencyStat)
+    row_states: Dict[RowState, int] = field(
+        default_factory=lambda: {state: 0 for state in RowState}
+    )
+    outstanding_reads: Histogram = field(default_factory=Histogram)
+    outstanding_writes: Histogram = field(default_factory=Histogram)
+    completed_reads: int = 0
+    completed_writes: int = 0
+    forwarded_reads: int = 0
+    preemptions: int = 0
+    piggybacked_writes: int = 0
+    write_queue_full_cycles: int = 0
+    pool_full_cycles: int = 0
+    cmd_bus_cycles: int = 0
+    data_bus_cycles: int = 0
+    refreshes: int = 0
+    cpu_stall_cycles: int = 0
+    instructions: int = 0
+    #: Sizes of completed read bursts (burst scheduling only): the
+    #: payload distribution of Figure 2.  A mean near 1 means the
+    #: workload gives the mechanism nothing to cluster.
+    burst_sizes: Histogram = field(default_factory=Histogram)
+    #: Read latency per 1GB address slice.  Multiprogrammed mixes
+    #: (repro.workloads.mixes) give each core one slice, so this is
+    #: the per-core latency breakdown for fairness analysis.
+    read_latency_per_slice: Dict[int, LatencyStat] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    # Derived metrics used by the experiment harness
+    # ------------------------------------------------------------------
+
+    def row_state_rates(self) -> Dict[str, float]:
+        """Row hit/conflict/empty as fractions of classified accesses."""
+        total = sum(self.row_states.values())
+        if not total:
+            return {state.value: 0.0 for state in RowState}
+        return {
+            state.value: count / total
+            for state, count in self.row_states.items()
+        }
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_state_rates()["hit"]
+
+    @property
+    def address_bus_utilization(self) -> float:
+        """Fraction of cycles the command bus carried a command."""
+        return self.cmd_bus_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def data_bus_utilization(self) -> float:
+        """Fraction of cycles the data bus carried a burst (Fig. 9b)."""
+        return self.data_bus_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def write_queue_saturation(self) -> float:
+        """Fraction of time the write queue was full (§5.1)."""
+        return (
+            self.write_queue_full_cycles / self.cycles if self.cycles else 0.0
+        )
+
+    @property
+    def mean_read_latency(self) -> float:
+        return self.read_latency.mean
+
+    @property
+    def mean_write_latency(self) -> float:
+        return self.write_latency.mean
+
+    def effective_bandwidth_gbps(
+        self, bus_bytes: int = 8, clock_mhz: int = 400
+    ) -> float:
+        """Data actually transferred, in GB/s (paper §5.2).
+
+        A 64-bit DDR bus moves ``2 * bus_bytes`` bytes per busy clock
+        cycle; utilisation scales the peak accordingly.
+        """
+        peak = 2 * bus_bytes * clock_mhz * 1e6 / 1e9
+        return peak * self.data_bus_utilization
+
+    def report(self) -> Dict[str, float]:
+        """Flat dictionary of the headline metrics of a run."""
+        rates = self.row_state_rates()
+        return {
+            "cycles": float(self.cycles),
+            "read_latency": self.mean_read_latency,
+            "write_latency": self.mean_write_latency,
+            "row_hit": rates["hit"],
+            "row_conflict": rates["conflict"],
+            "row_empty": rates["empty"],
+            "addr_bus_util": self.address_bus_utilization,
+            "data_bus_util": self.data_bus_utilization,
+            "write_queue_saturation": self.write_queue_saturation,
+            "completed_reads": float(self.completed_reads),
+            "completed_writes": float(self.completed_writes),
+            "forwarded_reads": float(self.forwarded_reads),
+            "preemptions": float(self.preemptions),
+            "piggybacked_writes": float(self.piggybacked_writes),
+        }
+
+
+__all__ = ["Histogram", "LatencyStat", "SimStats"]

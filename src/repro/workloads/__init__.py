@@ -1,0 +1,39 @@
+"""Workloads: miss traces, synthetic generators and SPEC 2000 profiles.
+
+The paper drives its memory systems with the main-memory access
+streams of 16 SPEC CPU2000 benchmarks (the ones showing >2% difference
+between in-order and any out-of-order mechanism).  Without SPEC and M5
+we substitute parameterised synthetic miss-stream generators (see
+DESIGN.md §2): each profile reproduces the stream properties that the
+schedulers actually react to — row locality, bank spread, read/write
+mix, eviction-echo write locality and arrival burstiness.
+"""
+
+from repro.workloads.trace import TraceRecord, load_trace, save_trace
+from repro.workloads.synthetic import WorkloadSpec, generate_trace
+from repro.workloads.mixes import (
+    STANDARD_MIXES,
+    interleave_traces,
+    make_mix_trace,
+)
+from repro.workloads.spec2000 import (
+    BENCHMARKS,
+    SPEC_PROFILES,
+    benchmark_names,
+    make_benchmark_trace,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "SPEC_PROFILES",
+    "STANDARD_MIXES",
+    "TraceRecord",
+    "WorkloadSpec",
+    "benchmark_names",
+    "generate_trace",
+    "interleave_traces",
+    "load_trace",
+    "make_benchmark_trace",
+    "make_mix_trace",
+    "save_trace",
+]

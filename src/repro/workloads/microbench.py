@@ -1,0 +1,114 @@
+"""Microbenchmark access patterns for characterisation.
+
+Classic directed patterns (lmbench/STREAM style) used to characterise
+the memory system independently of SPEC-like workloads:
+
+* ``stream``        — one sequential walker: pure row hits, the
+  highest bandwidth the open-page system can deliver;
+* ``bank_thrash``   — alternates two rows of one bank: pure row
+  conflicts, the open-page worst case Table 1 prices at 15 cycles;
+* ``stride``        — fixed-stride walker; sweeping the stride maps
+  out the row/bank geometry the way lmbench maps cache sizes;
+* ``random``        — uniform over a footprint: row-empty/conflict
+  mix dominated by bank parallelism;
+* ``pingpong``      — read-write alternation on one row: exercises
+  the data bus direction-turnaround penalties.
+
+Each builder returns plain :class:`~repro.workloads.trace.TraceRecord`
+lists with a constant instruction gap, so latency/bandwidth effects
+come from the memory system alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from repro.controller.access import AccessType
+from repro.errors import ConfigError
+from repro.workloads.trace import TraceRecord
+
+LINE = 64
+
+
+def stream(accesses: int, gap: int = 4, start: int = 0) -> List[TraceRecord]:
+    """Sequential reads, one line after another."""
+    return [
+        TraceRecord(gap, AccessType.READ, start + i * LINE)
+        for i in range(accesses)
+    ]
+
+
+def bank_thrash(
+    accesses: int, gap: int = 4, row_stride: int = 256 * 1024 * 32
+) -> List[TraceRecord]:
+    """Alternate two rows that collide in the same bank.
+
+    With the baseline page-interleaved mapping, addresses one full
+    bank-rotation apart (32 banks x 8KB = 256KB) share a bank; the
+    default stride places the second row 32 rotations away so both
+    land in bank 0 with different row indices.
+    """
+    return [
+        TraceRecord(gap, AccessType.READ, (i % 2) * row_stride + (i // 2) % 64 * LINE)
+        for i in range(accesses)
+    ]
+
+
+def stride(
+    accesses: int, stride_bytes: int, gap: int = 4, start: int = 0
+) -> List[TraceRecord]:
+    """Fixed-stride reads."""
+    if stride_bytes <= 0:
+        raise ConfigError("stride must be positive")
+    return [
+        TraceRecord(gap, AccessType.READ, start + i * stride_bytes)
+        for i in range(accesses)
+    ]
+
+
+def random_reads(
+    accesses: int, footprint_mb: int = 512, gap: int = 4, seed: int = 1
+) -> List[TraceRecord]:
+    """Uniformly random reads over a footprint."""
+    rng = random.Random(seed)
+    lines = footprint_mb * (1 << 20) // LINE
+    return [
+        TraceRecord(gap, AccessType.READ, rng.randrange(lines) * LINE)
+        for _ in range(accesses)
+    ]
+
+
+def pingpong(accesses: int, gap: int = 4) -> List[TraceRecord]:
+    """Alternate reads and writes within one row (bus turnaround)."""
+    records = []
+    for i in range(accesses):
+        op = AccessType.READ if i % 2 == 0 else AccessType.WRITE
+        if op is AccessType.WRITE:
+            address = (i - 1) // 2 % 64 * LINE  # write back what we read
+        else:
+            address = i // 2 % 64 * LINE
+        records.append(TraceRecord(gap, op, address))
+    return records
+
+
+#: name -> builder(accesses) with default parameters.
+MICROBENCHMARKS: Dict[str, Callable[[int], List[TraceRecord]]] = {
+    "stream": stream,
+    "bank_thrash": bank_thrash,
+    "stride64": lambda n: stride(n, 64),
+    "stride8k": lambda n: stride(n, 8 * 1024),
+    "stride256k": lambda n: stride(n, 256 * 1024),
+    "random": random_reads,
+    "pingpong": pingpong,
+}
+
+
+__all__ = [
+    "MICROBENCHMARKS",
+    "bank_thrash",
+    "pingpong",
+    "random_reads",
+    "stream",
+    "stride",
+]

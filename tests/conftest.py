@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.controller.access import AccessType
+from repro.mapping.base import DecodedAddress
+from repro.mapping.schemes import make_mapping
+from repro.sim.config import baseline_config
+from repro.dram.timing import DDR2_800, FIG1_DEVICE, TimingParams
+from dataclasses import replace
+
+
+@pytest.fixture
+def config():
+    """The paper's Table 3 baseline machine."""
+    return baseline_config()
+
+
+@pytest.fixture
+def quiet_config():
+    """Baseline with auto refresh disabled, for deterministic timing."""
+    timing = replace(DDR2_800, tREFI=None, tRFC=0)
+    return baseline_config(timing=timing)
+
+
+@pytest.fixture
+def small_config():
+    """A one-channel machine small enough for directed tests."""
+    timing = replace(DDR2_800, tREFI=None, tRFC=0)
+    return baseline_config(
+        timing=timing, channels=1, ranks=2, banks=2, rows=64
+    )
+
+
+@pytest.fixture
+def tiny_timing() -> TimingParams:
+    """The 2-2-2 BL4 teaching device (no refresh)."""
+    return FIG1_DEVICE
+
+
+def make_request_stream(
+    config, count, seed=0, write_frac=0.3, rows=16, gap=4
+):
+    """Random but reproducible (arrival, type, address) requests."""
+    mapping = make_mapping(config)
+    rng = random.Random(seed)
+    requests = []
+    cycle = 0
+    for _ in range(count):
+        decoded = DecodedAddress(
+            rng.randrange(config.channels),
+            rng.randrange(config.ranks),
+            rng.randrange(config.banks),
+            rng.randrange(min(rows, config.rows)),
+            rng.randrange(config.columns_per_row),
+        )
+        op = (
+            AccessType.WRITE
+            if rng.random() < write_frac
+            else AccessType.READ
+        )
+        requests.append((cycle, op, mapping.encode(decoded)))
+        cycle += rng.randrange(gap)
+    return requests

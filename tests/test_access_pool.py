@@ -1,0 +1,90 @@
+"""Unit tests for MemoryAccess and the shared access pool."""
+
+import pytest
+
+from repro.controller.access import AccessType, MemoryAccess
+from repro.controller.pool import AccessPool
+from repro.errors import PoolError
+from repro.mapping.base import DecodedAddress
+
+
+def _access(op=AccessType.READ, address=0x1000, arrival=0):
+    return MemoryAccess(op, address, DecodedAddress(0, 1, 2, 3, 4), arrival)
+
+
+def test_access_carries_coordinates():
+    access = _access()
+    assert access.channel == 0
+    assert access.rank == 1
+    assert access.bank == 2
+    assert access.row == 3
+    assert access.column == 4
+    assert access.bank_key() == (1, 2)
+
+
+def test_access_ids_are_unique():
+    assert _access().id != _access().id
+
+
+def test_latency_requires_completion():
+    access = _access(arrival=10)
+    assert access.latency is None
+    access.complete_cycle = 35
+    assert access.latency == 25
+
+
+def test_read_write_predicates():
+    assert _access(AccessType.READ).is_read
+    assert _access(AccessType.WRITE).is_write
+
+
+def test_pool_capacity_limits():
+    pool = AccessPool(capacity=3, write_capacity=1)
+    r1, r2 = _access(), _access()
+    w1, w2 = _access(AccessType.WRITE), _access(AccessType.WRITE)
+    pool.add(r1)
+    pool.add(w1)
+    assert not pool.can_accept(w2)  # write queue full
+    assert pool.write_queue_full
+    pool.add(r2)
+    assert pool.full
+    assert not pool.can_accept(_access())
+
+
+def test_pool_overflow_raises():
+    pool = AccessPool(1, 1)
+    pool.add(_access())
+    with pytest.raises(PoolError):
+        pool.add(_access())
+
+
+def test_pool_remove_restores_room():
+    pool = AccessPool(2, 1)
+    w = _access(AccessType.WRITE)
+    pool.add(w)
+    assert pool.write_queue_full
+    pool.remove(w)
+    assert not pool.write_queue_full
+    assert pool.count == 0
+
+
+def test_pool_underflow_raises():
+    pool = AccessPool(2, 1)
+    with pytest.raises(PoolError):
+        pool.remove(_access())
+    with pytest.raises(PoolError):
+        pool.remove(_access(AccessType.WRITE))
+
+
+def test_pool_rejects_bad_geometry():
+    with pytest.raises(PoolError):
+        AccessPool(0, 1)
+    with pytest.raises(PoolError):
+        AccessPool(4, 8)
+
+
+def test_table3_pool_shape():
+    """Table 3: 256-entry pool with at most 64 writes."""
+    pool = AccessPool(256, 64)
+    assert pool.capacity == 256
+    assert pool.write_capacity == 64

@@ -1,0 +1,178 @@
+"""Tests for the AHB scheduler, the row-policy predictor and the
+per-core fairness analysis."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.fairness import (
+    jain_fairness,
+    latency_disparity,
+    per_core_read_latency,
+)
+from repro.controller.access import AccessType
+from repro.controller.ahb import AHBScheduler
+from repro.controller.rowpolicy import (
+    CLOSE_THRESHOLD,
+    RowPolicyPredictor,
+)
+from repro.controller.system import MemorySystem
+from repro.cpu.core import OoOCore
+from repro.dram.channel import RowState
+from repro.errors import ConfigError
+from repro.sim.engine import OpenLoopDriver, run_requests
+from repro.workloads.mixes import make_mix_trace
+from repro.workloads.spec2000 import make_benchmark_trace
+from tests.conftest import make_request_stream
+
+
+# ------------------------------------------------------------------- AHB
+
+
+def test_ahb_completes_random_workload(small_config):
+    system = MemorySystem(small_config, "AHB")
+    assert isinstance(system.schedulers[0], AHBScheduler)
+    requests = make_request_stream(small_config, 300, seed=41, write_frac=0.4)
+    OpenLoopDriver(system, requests).run()
+    stats = system.stats
+    assert (
+        stats.completed_reads + stats.completed_writes + stats.forwarded_reads
+        == 300
+    )
+
+
+def test_ahb_tracks_arrival_mix(small_config):
+    system = MemorySystem(small_config, "AHB")
+    scheduler = system.schedulers[0]
+    start = scheduler.arrival_read_frac
+    requests = make_request_stream(
+        small_config, 200, seed=42, write_frac=0.8
+    )
+    OpenLoopDriver(system, requests).run()
+    assert scheduler.arrival_read_frac < start  # writes dominated
+
+
+def test_ahb_issues_writes_proportionally(small_config):
+    """With a write-heavy arrival mix AHB interleaves writes instead
+    of postponing them like the burst family."""
+    trace = make_benchmark_trace("lucas", 800, seed=1)
+    from repro.sim.config import baseline_config
+
+    cfg = baseline_config()
+    ahb = MemorySystem(cfg, "AHB")
+    OoOCore(ahb, trace).run()
+    burst = MemorySystem(cfg, "Burst")
+    OoOCore(burst, trace).run()
+    assert (
+        ahb.stats.mean_write_latency < burst.stats.mean_write_latency
+    )
+
+
+def test_ahb_reasonable_performance(config):
+    trace = make_benchmark_trace("swim", 1000, seed=1)
+    base = OoOCore(MemorySystem(config, "BkInOrder"), trace).run()
+    ahb = OoOCore(MemorySystem(config, "AHB"), trace).run()
+    assert ahb.mem_cycles < base.mem_cycles  # beats in-order
+
+
+# ------------------------------------------------------ row policy [22]
+
+
+def test_predictor_learns_open_from_hits():
+    predictor = RowPolicyPredictor(initial=CLOSE_THRESHOLD)
+
+    class Access:
+        rank, bank, row = 0, 0, 5
+
+    for _ in range(3):
+        predictor.observe(Access, RowState.HIT)
+    assert not predictor.should_close(0, 0)
+
+
+def test_predictor_learns_close_from_conflicts():
+    predictor = RowPolicyPredictor(initial=0)
+
+    class Access:
+        rank, bank, row = 0, 0, 5
+
+    for _ in range(3):
+        predictor.observe(Access, RowState.CONFLICT)
+    assert predictor.should_close(0, 0)
+
+
+def test_predictor_empty_training_uses_closed_row():
+    predictor = RowPolicyPredictor(initial=2)
+    predictor.note_closed(0, 0, row=7)
+
+    class Same:
+        rank, bank, row = 0, 0, 7
+
+    class Other:
+        rank, bank, row = 0, 0, 9
+
+    predictor.observe(Same, RowState.EMPTY)   # closing destroyed a hit
+    assert predictor._counter((0, 0)) == 1
+    predictor.note_closed(0, 0, row=7)
+    predictor.observe(Other, RowState.EMPTY)  # closing was free
+    assert predictor._counter((0, 0)) == 2
+
+
+def test_predictive_policy_end_to_end(small_config):
+    cfg = replace(small_config, row_policy="predictive")
+    system = MemorySystem(cfg, "Burst_TH")
+    requests = make_request_stream(small_config, 250, seed=43)
+    OpenLoopDriver(system, requests).run()
+    predictor = system.schedulers[0].row_predictor
+    assert predictor is not None
+    assert predictor.predictions > 0
+    assert 0.0 <= predictor.close_rate <= 1.0
+    stats = system.stats
+    assert (
+        stats.completed_reads + stats.completed_writes + stats.forwarded_reads
+        == 250
+    )
+
+
+def test_predictive_beats_cpa_on_streaming(config):
+    """On a streaming workload the predictor keeps rows open (like
+    open page) while static CPA forfeits every hit."""
+    trace = make_benchmark_trace("swim", 800, seed=1)
+    cycles = {}
+    for policy in ("open_page", "close_page_autoprecharge", "predictive"):
+        cfg = replace(config, row_policy=policy)
+        cycles[policy] = OoOCore(
+            MemorySystem(cfg, "Burst_TH"), trace
+        ).run().mem_cycles
+    assert cycles["predictive"] < cycles["close_page_autoprecharge"]
+    assert cycles["predictive"] <= cycles["open_page"] * 1.1
+
+
+# ------------------------------------------------------------- fairness
+
+
+def test_per_core_latency_and_fairness(config):
+    trace = make_mix_trace(("swim", "mcf", "gcc"), 400, seed=1)
+    system = MemorySystem(config, "Burst_TH")
+    OoOCore(system, trace).run()
+    per_core = per_core_read_latency(system.stats)
+    assert len(per_core) == 3
+    assert all(v > 0 for v in per_core.values())
+    assert latency_disparity(system.stats) >= 1.0
+    fairness = jain_fairness(system.stats)
+    assert 1.0 / 3.0 <= fairness <= 1.0
+
+
+def test_fairness_requires_data():
+    from repro.sim.stats import SimStats
+
+    with pytest.raises(ConfigError):
+        jain_fairness(SimStats())
+    with pytest.raises(ConfigError):
+        latency_disparity(SimStats())
+
+
+def test_single_core_occupies_one_slice(config):
+    trace = make_benchmark_trace("gzip", 300, seed=1)
+    system = MemorySystem(config, "Burst_TH")
+    OoOCore(system, trace).run()
+    assert len(per_core_read_latency(system.stats)) == 1

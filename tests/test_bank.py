@@ -1,0 +1,136 @@
+"""Unit tests for the per-bank SDRAM state machine."""
+
+import pytest
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.timing import DDR2_800, FIG1_DEVICE
+from repro.errors import ProtocolError
+
+
+@pytest.fixture
+def bank():
+    return Bank(DDR2_800, index=0)
+
+
+def test_initial_state_idle(bank):
+    assert bank.state is BankState.IDLE
+    assert bank.open_row is None
+    assert bank.can_activate(0)
+
+
+def test_activate_opens_row_after_trcd(bank):
+    bank.activate(0, row=7)
+    assert bank.state is BankState.ACTIVE
+    assert bank.open_row == 7
+    assert not bank.can_column(DDR2_800.tRCD - 1, 7)
+    assert bank.can_column(DDR2_800.tRCD, 7)
+
+
+def test_column_requires_matching_row(bank):
+    bank.activate(0, row=7)
+    assert not bank.can_column(DDR2_800.tRCD, 8)
+
+
+def test_column_to_idle_bank_is_illegal(bank):
+    with pytest.raises(ProtocolError):
+        bank.column(10, row=0, is_read=True)
+
+
+def test_double_activate_is_illegal(bank):
+    bank.activate(0, row=1)
+    with pytest.raises(ProtocolError):
+        bank.activate(100, row=2)
+
+
+def test_precharge_respects_tras(bank):
+    bank.activate(0, row=1)
+    assert not bank.can_precharge(DDR2_800.tRAS - 1)
+    assert bank.can_precharge(DDR2_800.tRAS)
+    bank.precharge(DDR2_800.tRAS)
+    assert bank.state is BankState.IDLE
+    assert bank.open_row is None
+
+
+def test_precharge_idle_bank_is_illegal(bank):
+    with pytest.raises(ProtocolError):
+        bank.precharge(100)
+
+
+def test_activate_after_precharge_waits_trp(bank):
+    bank.activate(0, row=1)
+    t = DDR2_800.tRAS
+    bank.precharge(t)
+    assert not bank.can_activate(t + DDR2_800.tRP - 1)
+    # tRC from the first activate may also gate; use the later bound.
+    ready = max(t + DDR2_800.tRP, DDR2_800.tRC)
+    assert bank.can_activate(ready)
+
+
+def test_trc_gates_next_activate(bank):
+    bank.activate(0, row=1)
+    bank.precharge(DDR2_800.tRAS)
+    assert bank.ready_activate >= DDR2_800.tRC
+
+
+def test_consecutive_columns_spaced_by_burst(bank):
+    bank.activate(0, row=3)
+    t = DDR2_800.tRCD
+    bank.column(t, row=3, is_read=True)
+    gap = max(DDR2_800.tCCD, DDR2_800.data_cycles)
+    assert not bank.can_column(t + gap - 1, 3)
+    assert bank.can_column(t + gap, 3)
+
+
+def test_read_extends_precharge_window(bank):
+    bank.activate(0, row=3)
+    t = DDR2_800.tRAS  # past tRAS already
+    bank.column(t, row=3, is_read=True)
+    assert bank.ready_precharge >= t + DDR2_800.read_to_precharge
+
+
+def test_write_extends_precharge_window_by_twr(bank):
+    bank.activate(0, row=3)
+    t = DDR2_800.tRAS
+    bank.column(t, row=3, is_read=False)
+    assert bank.ready_precharge >= t + DDR2_800.write_to_precharge
+
+
+def test_auto_precharge_closes_bank(bank):
+    """CPA row policy: the column access closes the bank itself."""
+    bank.activate(0, row=3)
+    t = DDR2_800.tRCD
+    bank.column(t, row=3, is_read=True, auto_precharge=True)
+    assert bank.state is BankState.IDLE
+    assert bank.open_row is None
+    # The implicit precharge still costs tRP after the internal window.
+    assert bank.ready_activate >= t + DDR2_800.read_to_precharge + DDR2_800.tRP
+
+
+def test_refresh_requires_idle(bank):
+    bank.activate(0, row=1)
+    with pytest.raises(ProtocolError):
+        bank.apply_refresh(100)
+
+
+def test_refresh_blocks_activate(bank):
+    bank.apply_refresh(500)
+    assert not bank.can_activate(499)
+    assert bank.can_activate(500)
+
+
+def test_counters(bank):
+    bank.activate(0, row=1)
+    bank.column(DDR2_800.tRCD, row=1, is_read=True)
+    bank.precharge(bank.ready_precharge)
+    assert bank.activate_count == 1
+    assert bank.column_count == 1
+    assert bank.precharge_count == 1
+
+
+def test_small_device_timing():
+    """FIG1 device: 2-2-2 with BL4 — tighter windows."""
+    bank = Bank(FIG1_DEVICE, 0)
+    bank.activate(0, row=0)
+    assert bank.can_column(2, 0)
+    bank.column(2, 0, is_read=True)
+    assert bank.can_column(4, 0)

@@ -1,0 +1,111 @@
+"""Unit tests for the set-associative write-back cache."""
+
+import pytest
+
+from repro.cpu.cache import Cache
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def cache():
+    # 4 sets x 2 ways x 64B lines = 512B.
+    return Cache("test", size_bytes=512, assoc=2, line_bytes=64)
+
+
+def test_geometry(cache):
+    assert cache.num_sets == 4
+    assert cache.assoc == 2
+
+
+def test_rejects_bad_geometry():
+    with pytest.raises(ConfigError):
+        Cache("bad", 0, 2)
+    with pytest.raises(ConfigError):
+        Cache("bad", 500, 2, 64)  # not divisible
+    with pytest.raises(ConfigError):
+        Cache("bad", 3 * 64 * 2, 2, 64)  # 3 sets: not a power of two
+
+
+def test_miss_then_hit(cache):
+    hit, wb = cache.access(0x1000, is_write=False)
+    assert not hit and wb is None
+    hit, wb = cache.access(0x1000, is_write=False)
+    assert hit and wb is None
+    assert cache.stats.read_misses == 1
+    assert cache.stats.reads == 2
+
+
+def test_same_line_different_offsets_hit(cache):
+    cache.access(0x1000, False)
+    hit, _ = cache.access(0x103F, False)
+    assert hit
+
+
+def test_lru_eviction_order(cache):
+    # Set 0 holds lines whose addresses are multiples of 4*64=256.
+    cache.access(0x000, False)   # way A
+    cache.access(0x100, False)   # way B
+    cache.access(0x000, False)   # touch A: B becomes LRU
+    cache.access(0x200, False)   # evicts B (0x100)
+    assert cache.contains(0x000)
+    assert not cache.contains(0x100)
+    assert cache.contains(0x200)
+
+
+def test_dirty_victim_produces_writeback(cache):
+    cache.access(0x000, True)    # dirty
+    cache.access(0x100, False)
+    cache.access(0x200, False)   # evicts 0x000 (dirty)
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_victim_no_writeback(cache):
+    cache.access(0x000, False)
+    cache.access(0x100, False)
+    _, wb = cache.access(0x200, False)
+    assert wb is None
+    assert cache.stats.writebacks == 0
+
+
+def test_writeback_address_is_victim_line(cache):
+    cache.access(0x040, True)    # set 1
+    cache.access(0x140, False)   # set 1
+    _, wb = cache.access(0x240, False)
+    assert wb == 0x040
+
+
+def test_write_allocate(cache):
+    hit, _ = cache.access(0x300, True)
+    assert not hit
+    assert cache.contains(0x300)
+    assert cache.stats.write_misses == 1
+
+
+def test_write_marks_dirty_on_hit(cache):
+    cache.access(0x000, False)  # clean
+    cache.access(0x000, True)   # now dirty
+    cache.access(0x100, False)
+    _, wb = cache.access(0x200, False)
+    assert wb == 0x000
+
+
+def test_flush_returns_dirty_lines(cache):
+    cache.access(0x000, True)
+    cache.access(0x040, False)
+    cache.access(0x080, True)
+    dirty = cache.flush()
+    assert set(dirty) == {0x000, 0x080}
+    assert not cache.contains(0x000)
+
+
+def test_contains_has_no_side_effects(cache):
+    cache.access(0x000, False)
+    reads = cache.stats.reads
+    cache.contains(0x000)
+    assert cache.stats.reads == reads
+
+
+def test_miss_rate(cache):
+    cache.access(0x000, False)
+    cache.access(0x000, False)
+    assert cache.stats.miss_rate == 0.5

@@ -1,0 +1,110 @@
+"""Tests for the repro-sim command line front end."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import DEVICES, main
+
+
+def test_devices_cover_generations():
+    assert {"DDR_266", "DDR2_800", "DDR3_1333"} <= set(DEVICES)
+
+
+def test_benchmark_run_text_output(capsys):
+    assert main(["--benchmark", "gzip", "--accesses", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "mem_cycles" in out
+    assert "Burst_TH" in out
+
+
+def test_micro_run_json_output(capsys):
+    assert (
+        main(
+            [
+                "--micro", "stream", "--mechanism", "BkInOrder",
+                "--accesses", "300", "--json",
+            ]
+        )
+        == 0
+    )
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["workload"] == "stream"
+    assert summary["accesses"] == 300
+    assert summary["row_hit"] > 0.9
+
+
+def test_mix_run(capsys):
+    assert (
+        main(
+            ["--mix", "gzip,mcf", "--accesses", "200", "--json"]
+        )
+        == 0
+    )
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["workload"] == "gzip+mcf"
+    assert summary["accesses"] == 400  # per core
+
+
+def test_trace_file_run(tmp_path, capsys):
+    path = tmp_path / "t.trace"
+    path.write_text("0 R 0x1000\n5 W 0x2000\n")
+    assert main(["--trace", str(path), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["accesses"] == 2
+
+
+def test_threshold_and_device_options(capsys):
+    assert (
+        main(
+            [
+                "--benchmark", "gzip", "--accesses", "300",
+                "--threshold", "16", "--device", "DDR_266", "--json",
+            ]
+        )
+        == 0
+    )
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["mechanism"] == "Burst_TH16"
+    assert summary["device"] == "DDR_266"
+
+
+def test_inorder_cpu_option(capsys):
+    assert (
+        main(
+            [
+                "--micro", "random", "--accesses", "200",
+                "--cpu", "inorder", "--json",
+            ]
+        )
+        == 0
+    )
+    assert json.loads(capsys.readouterr().out)["cpu"] == "inorder"
+
+
+def test_csv_output(tmp_path, capsys):
+    path = tmp_path / "out.csv"
+    assert (
+        main(
+            [
+                "--micro", "stream", "--accesses", "200",
+                "--csv", str(path),
+            ]
+        )
+        == 0
+    )
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0][0] == "workload"
+    assert rows[1][0] == "stream"
+
+
+def test_missing_trace_file_errors(capsys):
+    assert main(["--trace", "/nonexistent.trace"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_mutually_exclusive_sources():
+    with pytest.raises(SystemExit):
+        main(["--benchmark", "gzip", "--micro", "stream"])

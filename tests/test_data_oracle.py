@@ -1,0 +1,129 @@
+"""Tests for the value-level DataOracle (sequential consistency)."""
+
+import pytest
+
+from repro.controller.access import AccessType, EnqueueStatus
+from repro.controller.system import MemorySystem
+from repro.core.validate import DataOracle
+from repro.errors import SchedulerError
+from repro.experiments.common import MECHANISMS
+from repro.mapping.base import DecodedAddress
+from tests.conftest import make_request_stream
+
+
+def _addr(system, row=0, col=0, bank=0):
+    return system.mapping.encode(DecodedAddress(0, 0, bank, row, col))
+
+
+def _drive_with_oracle(system, requests):
+    """Replay requests, checking every read at its enqueue and
+    retiring writes from the oracle as their data transfers."""
+    oracle = DataOracle()
+    writes_in_flight = []
+    checked = 0
+    pending = list(requests)
+    index = 0
+    staged = None
+    staged_recorded = False
+    while index < len(pending) or staged is not None or not system.idle:
+        cycle = system.cycle
+        while staged is not None or index < len(pending):
+            if staged is None:
+                arrival, op, address = pending[index]
+                if arrival > cycle:
+                    break
+                staged = system.make_access(op, address, arrival)
+                staged_recorded = False
+                index += 1
+            if staged.is_write and not staged_recorded:
+                oracle.record_write(staged)
+                staged_recorded = True
+            status = system.enqueue(staged, cycle)
+            if status is EnqueueStatus.REJECTED_FULL:
+                break
+            if staged.is_read:
+                oracle.on_read_enqueued(staged)
+                checked += 1
+            else:
+                writes_in_flight.append(staged)
+            staged = None
+        system.tick()
+        # Mirror the controller: a write leaves its queue when its
+        # column access (data transfer) has been scheduled.
+        still = []
+        for write in writes_in_flight:
+            if write.complete_cycle is not None:
+                oracle.retire_write(write)
+            else:
+                still.append(write)
+        writes_in_flight = still
+        if system.cycle > 100_000:
+            raise AssertionError("no drain")
+    return checked
+
+
+@pytest.mark.parametrize("mech", MECHANISMS)
+def test_oracle_passes_on_every_mechanism(small_config, mech):
+    system = MemorySystem(small_config, mech)
+    requests = make_request_stream(
+        small_config, 250, seed=31, write_frac=0.45, rows=3
+    )
+    checked = _drive_with_oracle(system, requests)
+    assert checked > 0
+
+
+def test_forwarded_read_observes_latest_write(small_config):
+    system = MemorySystem(small_config, "Burst_TH")
+    oracle = DataOracle()
+    address = _addr(system, row=1)
+    w1 = system.make_access(AccessType.WRITE, address, 0)
+    w2 = system.make_access(AccessType.WRITE, address, 0)
+    t1 = oracle.record_write(w1)
+    t2 = oracle.record_write(w2)
+    system.enqueue(w1, 0)
+    system.enqueue(w2, 0)
+    read = system.make_access(AccessType.READ, address, 0)
+    expected = oracle.expected_for_read(read)
+    assert expected == t2  # the *latest* write (Figure 4 line 3)
+    assert t1 != t2
+    system.enqueue(read, 0)
+    assert read.forwarded
+    assert oracle.on_read_enqueued(read) == t2
+
+
+def test_oracle_flags_missed_forwarding(small_config):
+    system = MemorySystem(small_config, "Burst_TH")
+    oracle = DataOracle()
+    address = _addr(system, row=2)
+    write = system.make_access(AccessType.WRITE, address, 0)
+    oracle.record_write(write)
+    # Fabricate a read that claims to have gone to memory while the
+    # write was still queued.
+    read = system.make_access(AccessType.READ, address, 0)
+    read.forwarded = False
+    with pytest.raises(SchedulerError):
+        oracle.on_read_enqueued(read)
+
+
+def test_oracle_flags_bogus_forwarding(small_config):
+    system = MemorySystem(small_config, "Burst_TH")
+    oracle = DataOracle()
+    read = system.make_access(AccessType.READ, _addr(system, row=3), 0)
+    read.forwarded = True
+    with pytest.raises(SchedulerError):
+        oracle.on_read_enqueued(read)
+    with pytest.raises(SchedulerError):
+        oracle.check_read(read, oracle.expected_for_read(read))
+
+
+def test_retire_write_clears_queue(small_config):
+    system = MemorySystem(small_config, "Burst_TH")
+    oracle = DataOracle()
+    address = _addr(system, row=4)
+    write = system.make_access(AccessType.WRITE, address, 0)
+    oracle.record_write(write)
+    oracle.retire_write(write)
+    # After retirement the read legitimately goes to memory.
+    read = system.make_access(AccessType.READ, address, 10)
+    read.forwarded = False
+    oracle.on_read_enqueued(read)

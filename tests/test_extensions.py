@@ -1,0 +1,152 @@
+"""Tests for the §7 future-work extensions.
+
+* dynamic threshold from the observed read/write ratio (Burst_DYN);
+* inter-burst ordering policies (largest-first with anti-starvation);
+* the naive-issue ablation switch (Table 2 priority off).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.controller.access import AccessType, MemoryAccess
+from repro.controller.registry import extension_names
+from repro.controller.system import MemorySystem
+from repro.core.burst import BurstQueue
+from repro.core.dynamic import DynamicThresholdBurstScheduler
+from repro.core.scheduler import BurstScheduler
+from repro.cpu.core import OoOCore
+from repro.errors import SchedulerError
+from repro.mapping.base import DecodedAddress
+from repro.sim.engine import OpenLoopDriver
+from repro.workloads.spec2000 import make_benchmark_trace
+from tests.conftest import make_request_stream
+
+
+def _read(row, arrival=0, col=0):
+    return MemoryAccess(
+        AccessType.READ, row << 13 | col << 6,
+        DecodedAddress(0, 0, 0, row, col), arrival,
+    )
+
+
+def test_burst_dyn_registered_as_extension():
+    assert "Burst_DYN" in extension_names()
+
+
+def test_dynamic_threshold_tracks_write_ratio(small_config):
+    system = MemorySystem(small_config, "Burst_DYN")
+    scheduler = system.schedulers[0]
+    assert isinstance(scheduler, DynamicThresholdBurstScheduler)
+    scheduler.epoch_accesses = 10
+    requests = make_request_stream(
+        small_config, 40, seed=1, write_frac=0.5, gap=2
+    )
+    OpenLoopDriver(system, requests).run()
+    assert len(scheduler.threshold_history) > 1
+    final = scheduler.threshold
+    capacity = small_config.write_queue_size
+    assert scheduler.floor <= final <= capacity - 4
+
+
+def test_dynamic_threshold_directionality(small_config):
+    """Write-heavy epochs produce a lower threshold than read-heavy."""
+
+    def run(write_frac):
+        system = MemorySystem(small_config, "Burst_DYN")
+        scheduler = system.schedulers[0]
+        scheduler.epoch_accesses = 20
+        requests = make_request_stream(
+            small_config, 100, seed=3, write_frac=write_frac, gap=2
+        )
+        OpenLoopDriver(system, requests).run()
+        return scheduler.threshold
+
+    assert run(0.6) < run(0.05)
+
+
+def test_dynamic_completes_benchmarks(config):
+    trace = make_benchmark_trace("gcc", 800, seed=2)
+    system = MemorySystem(config, "Burst_DYN")
+    result = OoOCore(system, trace).run()
+    stats = system.stats
+    assert (
+        stats.completed_reads + stats.completed_writes + stats.forwarded_reads
+        == 800
+    )
+
+
+def test_largest_first_promotes_big_burst():
+    queue = BurstQueue()
+    queue.add_read(_read(1, arrival=0))
+    queue.add_read(_read(2, arrival=1))
+    queue.add_read(_read(2, arrival=2))
+    queue.add_read(_read(2, arrival=3))
+    queue.promote_for_policy("largest_first", now=10)
+    assert queue.next_burst.row == 2
+
+
+def test_largest_first_respects_age_limit():
+    queue = BurstQueue()
+    queue.add_read(_read(1, arrival=0))
+    queue.add_read(_read(2, arrival=1))
+    queue.add_read(_read(2, arrival=2))
+    # The head burst has starved past the limit: no promotion (§7's
+    # starvation consideration).
+    queue.promote_for_policy("largest_first", now=5000, age_limit=2000)
+    assert queue.next_burst.row == 1
+
+
+def test_arrival_policy_is_noop():
+    queue = BurstQueue()
+    queue.add_read(_read(1, arrival=0))
+    queue.add_read(_read(2, arrival=1))
+    queue.add_read(_read(2, arrival=2))
+    queue.promote_for_policy("arrival", now=10)
+    assert queue.next_burst.row == 1
+
+
+def test_unknown_policy_raises():
+    queue = BurstQueue()
+    queue.add_read(_read(1))
+    queue.add_read(_read(2))
+    with pytest.raises(SchedulerError):
+        queue.promote_for_policy("random", now=0)
+
+
+def _burst_factory(**kwargs):
+    def factory(config, channel, pool, stats):
+        return BurstScheduler(
+            config, channel, pool, stats,
+            read_preemption=True, write_piggybacking=True, **kwargs,
+        )
+
+    return factory
+
+
+def test_largest_first_scheduler_completes(small_config):
+    system = MemorySystem(
+        small_config, _burst_factory(inter_burst_policy="largest_first")
+    )
+    requests = make_request_stream(small_config, 300, seed=21)
+    OpenLoopDriver(system, requests).run()
+    stats = system.stats
+    assert (
+        stats.completed_reads + stats.completed_writes + stats.forwarded_reads
+        == 300
+    )
+
+
+def test_naive_issue_completes_but_slower_on_bursty_load(config):
+    """Dropping the Table 2 priority must never break correctness and
+    should not beat the priority table on streaming workloads."""
+    trace = make_benchmark_trace("swim", 1200, seed=1)
+    with_table = OoOCore(
+        MemorySystem(config, _burst_factory()), trace
+    ).run()
+    naive = OoOCore(
+        MemorySystem(config, _burst_factory(use_priority_table=False)),
+        trace,
+    ).run()
+    assert naive.loads == with_table.loads
+    assert naive.mem_cycles >= with_table.mem_cycles * 0.98

@@ -1,0 +1,140 @@
+"""Tests for the FCFS reference scheduler and microbenchmarks."""
+
+import pytest
+
+from repro.controller.access import AccessType
+from repro.controller.system import MemorySystem
+from repro.dram.channel import RowState
+from repro.errors import ConfigError
+from repro.sim.engine import OpenLoopDriver, run_requests
+from repro.workloads import microbench
+from repro.workloads.trace import TraceRecord
+from tests.conftest import make_request_stream
+
+
+# ------------------------------------------------------------------ FCFS
+
+
+def test_fcfs_registered_as_extension():
+    from repro.controller.registry import extension_names
+
+    assert "FCFS" in extension_names()
+
+
+def test_fcfs_serialises_even_across_banks(small_config):
+    """Unlike BkInOrder, FCFS does not pipeline across banks."""
+    from repro.mapping.base import DecodedAddress
+
+    def addr(system, bank, row):
+        return system.mapping.encode(DecodedAddress(0, 0, bank, row, 0))
+
+    def run(mechanism):
+        system = MemorySystem(small_config, mechanism)
+        requests = [
+            (0, AccessType.READ, addr(system, b % 2, b)) for b in range(8)
+        ]
+        run_requests(system, requests)
+        return system.cycle
+
+    assert run("FCFS") > run("BkInOrder")
+
+
+def test_fcfs_completes_random_workload(small_config):
+    system = MemorySystem(small_config, "FCFS")
+    requests = make_request_stream(small_config, 200, seed=23)
+    OpenLoopDriver(system, requests).run()
+    stats = system.stats
+    assert (
+        stats.completed_reads + stats.completed_writes + stats.forwarded_reads
+        == 200
+    )
+
+
+def test_fcfs_preserves_arrival_order(small_config):
+    system = MemorySystem(small_config, "FCFS")
+    requests = make_request_stream(
+        small_config, 60, seed=3, write_frac=0.0
+    )
+    driver = OpenLoopDriver(system, requests)
+    driver.run()
+    arrivals = [a.arrival for a in driver.completed]
+    assert arrivals == sorted(arrivals)
+
+
+# ---------------------------------------------------------- microbench
+
+
+def test_stream_is_pure_row_hits(quiet_config):
+    trace = microbench.stream(64)
+    system = MemorySystem(quiet_config, "BkInOrder")
+    run_requests(
+        system, [(i, r.op, r.address) for i, r in enumerate(trace)]
+    )
+    rates = system.stats.row_state_rates()
+    assert rates["hit"] > 0.9
+
+
+def test_bank_thrash_is_pure_conflicts(quiet_config):
+    trace = microbench.bank_thrash(64)
+    system = MemorySystem(quiet_config, "BkInOrder")
+    run_requests(
+        system, [(i * 30, r.op, r.address) for i, r in enumerate(trace)]
+    )
+    stats = system.stats
+    conflicts = stats.row_states[RowState.CONFLICT]
+    assert conflicts >= 60  # all but the two openers
+
+
+def test_thrash_addresses_share_bank(config):
+    from repro.mapping.schemes import make_mapping
+
+    mapping = make_mapping(config)
+    trace = microbench.bank_thrash(4)
+    decoded = [mapping.decode(r.address) for r in trace]
+    banks = {d.bank_key() for d in decoded}
+    rows = {d.row for d in decoded}
+    assert len(banks) == 1
+    assert len(rows) == 2
+
+
+def test_stride_validation():
+    with pytest.raises(ConfigError):
+        microbench.stride(10, 0)
+
+
+def test_pingpong_alternates_ops():
+    trace = microbench.pingpong(10)
+    ops = [r.op for r in trace]
+    assert ops[0] is AccessType.READ
+    assert ops[1] is AccessType.WRITE
+    assert len(set(ops)) == 2
+    # Writes target previously read lines.
+    reads = {r.address for r in trace if r.op is AccessType.READ}
+    for record in trace:
+        if record.op is AccessType.WRITE:
+            assert record.address in reads
+
+
+def test_registry_contains_all_patterns():
+    for name, builder in microbench.MICROBENCHMARKS.items():
+        trace = builder(16)
+        assert len(trace) == 16, name
+        assert all(isinstance(r, TraceRecord) for r in trace)
+
+
+def test_random_reads_deterministic():
+    assert microbench.random_reads(50, seed=4) == microbench.random_reads(
+        50, seed=4
+    )
+
+
+def test_burst_size_stats_populated(config):
+    """Streaming loads produce multi-read bursts (Figure 2 payloads)."""
+    from repro.cpu.core import OoOCore
+    from repro.workloads.spec2000 import make_benchmark_trace
+
+    system = MemorySystem(config, "Burst_TH")
+    OoOCore(system, make_benchmark_trace("swim", 800, seed=1)).run()
+    sizes = system.stats.burst_sizes
+    assert sizes.total > 0
+    assert sizes.mean() > 1.0

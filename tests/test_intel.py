@@ -1,0 +1,134 @@
+"""Unit tests for the Intel (patent 7,127,574 style) scheduler."""
+
+import pytest
+
+from repro.controller.access import AccessType
+from repro.controller.intel import IntelScheduler
+from repro.controller.system import MemorySystem
+from repro.mapping.base import DecodedAddress
+from repro.sim.engine import OpenLoopDriver
+
+
+def _addr(system, rank=0, bank=0, row=0, col=0):
+    return system.mapping.encode(DecodedAddress(0, rank, bank, row, col))
+
+
+def test_names():
+    assert IntelScheduler.name == "Intel"
+
+
+def test_reads_prioritized_over_older_writes(small_config):
+    """Reads bypass the shared write queue entirely while reads are
+    pending for the bank."""
+    system = MemorySystem(small_config, "Intel")
+    w = system.make_access(AccessType.WRITE, _addr(system, row=1), 0)
+    r = system.make_access(AccessType.READ, _addr(system, row=2), 0)
+    system.enqueue(w, 0)
+    system.enqueue(r, 1)
+    while not system.idle:
+        system.tick()
+    assert r.complete_cycle < w.complete_cycle
+
+
+def test_row_hit_read_selected_first(small_config):
+    system = MemorySystem(small_config, "Intel")
+    requests = [
+        (0, AccessType.READ, _addr(system, row=1)),
+        (0, AccessType.READ, _addr(system, row=2)),
+        (0, AccessType.READ, _addr(system, row=1, col=4)),
+    ]
+    driver = OpenLoopDriver(system, requests)
+    driver.run()
+    hit = driver.completed[1]
+    assert hit.row == driver.completed[0].row
+
+
+def test_serial_write_drain(small_config):
+    """Only the head of the shared write queue may drain: writes to
+    different banks do not drain in parallel."""
+    system = MemorySystem(small_config, "Intel")
+    scheduler = system.schedulers[0]
+    writes = [
+        system.make_access(AccessType.WRITE, _addr(system, bank=b, row=1), 0)
+        for b in (0, 1)
+    ]
+    for w in writes:
+        system.enqueue(w, 0)
+    # With no reads anywhere, only the head write's bank gets ongoing.
+    scheduler._update_ongoing()
+    ongoing = [a for a in scheduler._ongoing.values() if a is not None]
+    assert ongoing == [writes[0]]
+
+
+def test_drain_mode_hysteresis(small_config):
+    from dataclasses import replace
+
+    cfg = replace(small_config, pool_size=8, write_queue_size=4, threshold=2)
+    system = MemorySystem(cfg, "Intel")
+    scheduler = system.schedulers[0]
+    writes = [
+        system.make_access(
+            AccessType.WRITE, _addr(system, bank=b % 2, row=b), 0
+        )
+        for b in range(4)
+    ]
+    for w in writes:
+        system.enqueue(w, 0)
+    assert system.pool.write_queue_full
+    scheduler._update_ongoing()
+    assert scheduler._drain_mode
+    # Drain mode persists below full until the low watermark.
+    system.pool.write_count = 4 * 3 // 4 + 1
+    scheduler._update_ongoing()
+    assert scheduler._drain_mode
+    system.pool.write_count = 4 * 3 // 4
+    scheduler._update_ongoing()
+    assert not scheduler._drain_mode
+    system.pool.write_count = len(
+        [w for w in writes]
+    )  # restore for cleanliness
+
+
+def test_intel_rp_preempts_ongoing_write(small_config):
+    system = MemorySystem(small_config, "Intel_RP")
+    scheduler = system.schedulers[0]
+    assert scheduler.name == "Intel_RP"
+    w = system.make_access(AccessType.WRITE, _addr(system, row=1), 0)
+    system.enqueue(w, 0)
+    scheduler._update_ongoing()
+    assert scheduler._ongoing[(0, 0)] is w
+    r = system.make_access(AccessType.READ, _addr(system, row=2), 1)
+    system.enqueue(r, 1)
+    scheduler._update_ongoing()
+    assert scheduler._ongoing[(0, 0)] is r
+    assert w.preempted
+    assert system.stats.preemptions == 1
+
+
+def test_plain_intel_never_preempts(small_config):
+    system = MemorySystem(small_config, "Intel")
+    scheduler = system.schedulers[0]
+    w = system.make_access(AccessType.WRITE, _addr(system, row=1), 0)
+    system.enqueue(w, 0)
+    scheduler._update_ongoing()
+    r = system.make_access(AccessType.READ, _addr(system, row=2), 1)
+    system.enqueue(r, 1)
+    scheduler._update_ongoing()
+    assert scheduler._ongoing[(0, 0)] is w
+    assert system.stats.preemptions == 0
+
+
+def test_all_accesses_complete(small_config):
+    from tests.conftest import make_request_stream
+
+    for mech in ("Intel", "Intel_RP"):
+        system = MemorySystem(small_config, mech)
+        requests = make_request_stream(small_config, 300, seed=11)
+        OpenLoopDriver(system, requests).run()
+        stats = system.stats
+        assert (
+            stats.completed_reads
+            + stats.completed_writes
+            + stats.forwarded_reads
+            == 300
+        )

@@ -1,0 +1,112 @@
+"""Property-based tests: cache vs reference model; core conservation."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.access import AccessType
+from repro.controller.system import MemorySystem
+from repro.cpu.cache import Cache
+from repro.cpu.core import OoOCore
+from repro.sim.config import baseline_config
+from repro.workloads.trace import TraceRecord
+
+
+class ReferenceCache:
+    """Straight-line LRU model to check the production cache against."""
+
+    def __init__(self, sets, assoc, line):
+        self.sets = [OrderedDict() for _ in range(sets)]
+        self.assoc = assoc
+        self.line = line
+        self.num_sets = sets
+
+    def access(self, address, is_write):
+        line = address // self.line
+        bucket = self.sets[line % self.num_sets]
+        tag = line // self.num_sets
+        if tag in bucket:
+            bucket.move_to_end(tag)
+            if is_write:
+                bucket[tag] = True
+            return True, None
+        writeback = None
+        if len(bucket) >= self.assoc:
+            victim, dirty = bucket.popitem(last=False)
+            if dirty:
+                writeback = (
+                    victim * self.num_sets + line % self.num_sets
+                ) * self.line
+        bucket[tag] = is_write
+        return False, writeback
+
+
+references = st.lists(
+    st.tuples(st.integers(0, 63), st.booleans()),
+    min_size=1,
+    max_size=300,
+)
+
+
+@given(refs=references)
+@settings(max_examples=150, deadline=None)
+def test_cache_matches_reference_model(refs):
+    cache = Cache("sut", size_bytes=8 * 64, assoc=2, line_bytes=64)
+    model = ReferenceCache(sets=4, assoc=2, line=64)
+    for line_index, is_write in refs:
+        address = line_index * 64
+        got = cache.access(address, is_write)
+        expected = model.access(address, is_write)
+        assert got == expected
+
+
+@given(refs=references)
+@settings(max_examples=100, deadline=None)
+def test_cache_stats_consistent(refs):
+    cache = Cache("sut", size_bytes=8 * 64, assoc=2, line_bytes=64)
+    for line_index, is_write in refs:
+        cache.access(line_index * 64, is_write)
+    stats = cache.stats
+    assert stats.accesses == len(refs)
+    assert 0 <= stats.misses <= stats.accesses
+    assert stats.writebacks <= stats.write_misses + stats.writes
+
+
+trace_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 40),
+        st.booleans(),
+        st.integers(0, 200),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@given(raw=trace_strategy)
+@settings(max_examples=40, deadline=None)
+def test_core_conserves_instructions_and_accesses(raw):
+    """Whatever the trace, the OoO core retires exactly the trace's
+    gap instructions plus one per load, and every access reaches the
+    memory system exactly once."""
+    trace = [
+        TraceRecord(
+            gap,
+            AccessType.WRITE if is_write else AccessType.READ,
+            line * 64,
+        )
+        for gap, is_write, line in raw
+    ]
+    system = MemorySystem(baseline_config(), "Burst_TH")
+    result = OoOCore(system, list(trace)).run()
+    reads = sum(r.op is AccessType.READ for r in trace)
+    writes = len(trace) - reads
+    gaps = sum(r.gap for r in trace)
+    assert result.loads == reads
+    assert result.stores == writes
+    assert result.instructions == gaps + reads
+    stats = system.stats
+    assert stats.completed_reads + stats.forwarded_reads == reads
+    assert stats.completed_writes == writes
+    assert system.idle

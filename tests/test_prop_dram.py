@@ -1,0 +1,93 @@
+"""Property-based tests for the DRAM protocol layer.
+
+A random "chaos scheduler" issues any command the channel reports as
+unblocked.  Whatever it does, the device must never raise a
+ProtocolError and its externally visible invariants must hold: data
+bus transfers never overlap, banks track exactly one open row, and a
+column access is only ever accepted for the open row.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.channel import Channel
+from repro.dram.timing import DDR2_800, FIG1_DEVICE
+
+RANKS, BANKS = 2, 2
+
+
+def _candidates(channel, cycle):
+    """Every unblocked command at this cycle, as closures."""
+    options = []
+    for rank in range(len(channel.ranks)):
+        for bank in range(channel.banks_per_rank):
+            state = channel.ranks[rank].banks[bank]
+            if state.open_row is None:
+                for row in (0, 1):
+                    if channel.can_activate_at(cycle, rank, bank):
+                        options.append(
+                            ("act", rank, bank, row)
+                        )
+            else:
+                if channel.can_precharge_at(cycle, rank, bank):
+                    options.append(("pre", rank, bank, None))
+                row = state.open_row
+                for is_read in (True, False):
+                    if channel.can_column_at(cycle, rank, bank, row, is_read):
+                        options.append(
+                            ("rd" if is_read else "wr", rank, bank, row)
+                        )
+    return options
+
+
+@given(
+    data=st.data(),
+    timing=st.sampled_from([DDR2_800, FIG1_DEVICE]),
+)
+@settings(max_examples=60, deadline=None)
+def test_chaos_scheduler_never_violates_protocol(data, timing):
+    channel = Channel(timing, 0, RANKS, BANKS)
+    transfers = []
+    for cycle in range(150):
+        options = _candidates(channel, cycle)
+        if not options:
+            continue
+        if not data.draw(st.booleans(), label=f"issue@{cycle}"):
+            continue
+        kind, rank, bank, row = data.draw(
+            st.sampled_from(options), label=f"cmd@{cycle}"
+        )
+        if kind == "act":
+            channel.issue_activate(cycle, rank, bank, row)
+        elif kind == "pre":
+            channel.issue_precharge(cycle, rank, bank)
+        else:
+            end = channel.issue_column(cycle, rank, bank, row, kind == "rd")
+            transfers.append((end - timing.data_cycles, end))
+    # Data bus transfers never overlap.
+    transfers.sort()
+    for (s1, e1), (s2, e2) in zip(transfers, transfers[1:]):
+        assert e1 <= s2, f"overlapping bursts {(s1, e1)} and {(s2, e2)}"
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_bank_tracks_single_open_row(data):
+    channel = Channel(FIG1_DEVICE, 0, 1, 1)
+    bank = channel.ranks[0].banks[0]
+    open_row = None
+    for cycle in range(120):
+        options = _candidates(channel, cycle)
+        if not options or not data.draw(st.booleans()):
+            continue
+        kind, rank, b, row = data.draw(st.sampled_from(options))
+        if kind == "act":
+            channel.issue_activate(cycle, rank, b, row)
+            open_row = row
+        elif kind == "pre":
+            channel.issue_precharge(cycle, rank, b)
+            open_row = None
+        else:
+            channel.issue_column(cycle, rank, b, row, kind == "rd")
+            assert row == open_row
+        assert bank.open_row == open_row

@@ -1,0 +1,98 @@
+"""Unit tests for rank-level constraints (tRRD, tFAW, tWTR, refresh)."""
+
+import pytest
+
+from repro.dram.rank import Rank
+from repro.dram.timing import DDR2_800
+from repro.errors import ProtocolError
+
+T = DDR2_800
+
+
+@pytest.fixture
+def rank():
+    return Rank(T, index=0, banks=4)
+
+
+def test_rejects_empty_rank():
+    with pytest.raises(ProtocolError):
+        Rank(T, 0, banks=0)
+
+
+def test_trrd_spaces_activates_across_banks(rank):
+    rank.activate(0, bank=0, row=1)
+    assert not rank.can_activate(T.tRRD - 1, bank=1)
+    assert rank.can_activate(T.tRRD, bank=1)
+
+
+def test_tfaw_limits_four_activates(rank):
+    """No more than four activates per rolling tFAW window."""
+    cycle = 0
+    for bank in range(4):
+        rank.activate(cycle, bank=bank, row=0)
+        cycle += T.tRRD
+    # All four banks used; bank 0 must precharge before reactivating,
+    # but even a hypothetical fifth activate is tFAW-gated.
+    assert cycle < T.tFAW
+    assert not rank.can_activate(cycle, bank=0)  # also tRC-gated
+    # The fifth activate would need to wait for the window to expire.
+    fifth_ready = 0 + T.tFAW
+    rank.precharge(rank.banks[0].ready_precharge, 0)
+    ready = max(fifth_ready, rank.banks[0].ready_activate)
+    assert rank.can_activate(ready, bank=0)
+    assert not rank.can_activate(fifth_ready - 1, bank=0)
+
+
+def test_twtr_gates_read_after_write(rank):
+    rank.activate(0, bank=0, row=0)
+    t = T.tRCD
+    data_end = rank.column(t, bank=0, row=0, is_read=False)
+    assert rank.ready_read == data_end + T.tWTR
+    # A read to ANY bank of this rank is gated.
+    rank.activate(T.tRRD, bank=1, row=0)
+    ready = data_end + T.tWTR
+    assert not rank.can_column(ready - 1, bank=1, row=0, is_read=True)
+    assert rank.can_column(ready, bank=1, row=0, is_read=True)
+
+
+def test_write_after_write_not_twtr_gated(rank):
+    rank.activate(0, bank=0, row=0)
+    t = T.tRCD
+    rank.column(t, bank=0, row=0, is_read=False)
+    nxt = t + max(T.tCCD, T.data_cycles)
+    assert rank.can_column(nxt, bank=0, row=0, is_read=False)
+
+
+def test_column_data_end_read_vs_write(rank):
+    rank.activate(0, bank=0, row=0)
+    t = T.tRCD
+    end = rank.column(t, bank=0, row=0, is_read=True)
+    assert end == t + T.tCL + T.data_cycles
+
+
+def test_refresh_requires_all_banks_idle(rank):
+    rank.activate(0, bank=2, row=5)
+    assert not rank.can_refresh(100)
+    rank.precharge(rank.banks[2].ready_precharge, 2)
+    ready = rank.banks[2].ready_activate
+    assert rank.can_refresh(ready)
+
+
+def test_refresh_blocks_rank_for_trfc(rank):
+    done = rank.refresh(0)
+    assert done == T.tRFC
+    assert not rank.can_activate(T.tRFC - 1, bank=0)
+    assert rank.can_activate(T.tRFC, bank=0)
+    assert rank.refresh_count == 1
+
+
+def test_illegal_refresh_raises(rank):
+    rank.activate(0, bank=0, row=0)
+    with pytest.raises(ProtocolError):
+        rank.refresh(1)
+
+
+def test_open_row_lookup(rank):
+    assert rank.open_row(1) is None
+    rank.activate(0, bank=1, row=9)
+    assert rank.open_row(1) == 9

@@ -1,0 +1,70 @@
+"""Unit tests for the SPEC CPU2000 benchmark profiles."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.spec2000 import (
+    BENCHMARKS,
+    SPEC_PROFILES,
+    benchmark_names,
+    get_profile,
+    make_benchmark_trace,
+)
+
+#: The 16 benchmarks of the paper's Figure 10.
+PAPER_BENCHMARKS = {
+    "gzip", "gcc", "mcf", "parser", "perlbmk", "gap", "bzip2",
+    "wupwise", "swim", "mgrid", "applu", "mesa", "art", "facerec",
+    "lucas", "apsi",
+}
+
+
+def test_all_sixteen_paper_benchmarks_present():
+    assert set(BENCHMARKS) == PAPER_BENCHMARKS
+    assert len(BENCHMARKS) == 16
+
+
+def test_profiles_named_consistently():
+    for name, profile in SPEC_PROFILES.items():
+        assert profile.name == name
+
+
+def test_get_profile_and_unknown():
+    assert get_profile("swim").name == "swim"
+    with pytest.raises(ConfigError):
+        get_profile("doom3")
+
+
+def test_character_assumptions():
+    """Qualitative properties the paper's discussion relies on."""
+    # mcf is pointer chasing: essentially no stream locality, read
+    # dominated (read preemption is its win, §5.3).
+    mcf = get_profile("mcf")
+    assert mcf.stream_frac <= 0.1
+    assert mcf.write_frac <= 0.2
+    # swim is intense streaming (the paper's running example).
+    swim = get_profile("swim")
+    assert swim.stream_frac >= 0.8
+    assert swim.mean_gap < 50
+    # gcc and lucas are the write piggybacking winners: write heavy.
+    assert get_profile("gcc").write_frac >= 0.45
+    assert get_profile("lucas").write_frac >= 0.45
+
+
+def test_make_benchmark_trace_deterministic():
+    a = make_benchmark_trace("gzip", 200, seed=5)
+    b = make_benchmark_trace("gzip", 200, seed=5)
+    assert a == b
+    assert len(a) == 200
+
+
+def test_traces_differ_between_benchmarks():
+    a = make_benchmark_trace("swim", 100, seed=1)
+    b = make_benchmark_trace("mcf", 100, seed=1)
+    assert a != b
+
+
+def test_benchmark_names_is_copy():
+    names = benchmark_names()
+    names.append("bogus")
+    assert "bogus" not in BENCHMARKS

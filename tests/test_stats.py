@@ -1,0 +1,104 @@
+"""Unit tests for the statistics primitives."""
+
+import pytest
+
+from repro.dram.channel import RowState
+from repro.sim.stats import Histogram, LatencyStat, SimStats
+
+
+def test_latency_stat_accumulates():
+    stat = LatencyStat()
+    assert stat.mean == 0.0
+    for v in (10, 20, 30):
+        stat.add(v)
+    assert stat.count == 3
+    assert stat.mean == 20
+    assert stat.min == 10
+    assert stat.max == 30
+
+
+def test_latency_stat_merge():
+    a, b = LatencyStat(), LatencyStat()
+    a.add(5)
+    b.add(15)
+    b.add(25)
+    a.merge(b)
+    assert a.count == 3
+    assert a.min == 5
+    assert a.max == 25
+    empty = LatencyStat()
+    empty.merge(a)
+    assert empty.count == 3
+
+
+def test_histogram_fractions():
+    h = Histogram()
+    h.add(0, weight=3)
+    h.add(2)
+    assert h.total == 4
+    assert h.fraction(0) == 0.75
+    assert h.fraction(5) == 0.0
+    assert h.fraction_at_least(1) == 0.25
+    assert h.fraction_at_least(0) == 1.0
+
+
+def test_histogram_mean_and_series():
+    h = Histogram()
+    h.add(1, 2)
+    h.add(3, 2)
+    assert h.mean() == 2.0
+    assert h.series() == [(1, 0.5), (3, 0.5)]
+
+
+def test_empty_histogram():
+    h = Histogram()
+    assert h.mean() == 0.0
+    assert h.fraction_at_least(0) == 0.0
+    assert list(h.series()) == []
+
+
+def test_simstats_row_rates():
+    stats = SimStats()
+    stats.row_states[RowState.HIT] = 3
+    stats.row_states[RowState.CONFLICT] = 1
+    rates = stats.row_state_rates()
+    assert rates["hit"] == 0.75
+    assert rates["conflict"] == 0.25
+    assert rates["empty"] == 0.0
+    assert stats.row_hit_rate == 0.75
+
+
+def test_simstats_empty_rates():
+    rates = SimStats().row_state_rates()
+    assert rates == {"hit": 0.0, "conflict": 0.0, "empty": 0.0}
+
+
+def test_bus_utilization_and_saturation():
+    stats = SimStats()
+    stats.cycles = 100
+    stats.data_bus_cycles = 40
+    stats.cmd_bus_cycles = 10
+    stats.write_queue_full_cycles = 9
+    assert stats.data_bus_utilization == 0.4
+    assert stats.address_bus_utilization == 0.1
+    assert stats.write_queue_saturation == 0.09
+
+
+def test_effective_bandwidth_matches_paper_example():
+    """§5.2: 42% utilisation of PC2-6400 gives ~2.7 GB/s effective."""
+    stats = SimStats()
+    stats.cycles = 100
+    stats.data_bus_cycles = 42
+    assert stats.effective_bandwidth_gbps() == pytest.approx(2.688)
+
+
+def test_report_contains_headline_keys():
+    report = SimStats().report()
+    for key in (
+        "read_latency",
+        "write_latency",
+        "row_hit",
+        "data_bus_util",
+        "write_queue_saturation",
+    ):
+        assert key in report

@@ -1,0 +1,115 @@
+"""Unit tests for the SDRAM timing parameter sets."""
+
+import dataclasses
+
+import pytest
+
+from repro.dram.timing import DDR2_800, DDR_266, FIG1_DEVICE, TimingParams
+from repro.errors import ConfigError
+
+
+def test_ddr2_800_matches_paper_baseline():
+    """Table 3: DDR2 PC2-6400 with 5-5-5 timings, burst length 8."""
+    assert DDR2_800.tCL == 5
+    assert DDR2_800.tRCD == 5
+    assert DDR2_800.tRP == 5
+    assert DDR2_800.burst_length == 8
+    assert DDR2_800.clock_mhz == 400
+
+
+def test_data_cycles_is_half_burst_length():
+    assert DDR2_800.data_cycles == 4
+    assert FIG1_DEVICE.data_cycles == 2
+
+
+def test_trc_is_tras_plus_trp():
+    assert DDR2_800.tRC == DDR2_800.tRAS + DDR2_800.tRP
+
+
+def test_table1_latency_helpers():
+    """Table 1 formulae: hit tCL, empty tRCD+tCL, conflict +tRP."""
+    t = DDR2_800
+    assert t.row_hit_latency() == t.tCL + t.data_cycles
+    assert t.row_empty_latency() == t.tRCD + t.tCL + t.data_cycles
+    assert (
+        t.row_conflict_latency()
+        == t.tRP + t.tRCD + t.tCL + t.data_cycles
+    )
+
+
+def test_paper_section6_cycle_counts():
+    """§6: row conflict costs 6 cycles on DDR-266 and 15 on DDR2-800."""
+    assert DDR_266.tRP + DDR_266.tRCD + DDR_266.tCL == 6
+    assert DDR2_800.tRP + DDR2_800.tRCD + DDR2_800.tCL == 15
+
+
+def test_presets_have_distinct_names():
+    names = {t.name for t in (DDR2_800, DDR_266, FIG1_DEVICE)}
+    assert len(names) == 3
+
+
+def _valid_kwargs(**overrides):
+    base = dict(
+        name="test",
+        tCL=5,
+        tRCD=5,
+        tRP=5,
+        tRAS=18,
+        burst_length=8,
+        tCWL=4,
+        tWR=6,
+        tWTR=3,
+        tRTP=3,
+        tRRD=3,
+        tCCD=2,
+        tRTRS=2,
+    )
+    base.update(overrides)
+    return base
+
+
+def test_rejects_nonpositive_core_timings():
+    for field in ("tCL", "tRCD", "tRP", "tRAS", "burst_length", "tCWL"):
+        with pytest.raises(ConfigError):
+            TimingParams(**_valid_kwargs(**{field: 0}))
+
+
+def test_rejects_negative_secondary_timings():
+    for field in ("tWR", "tWTR", "tRTP", "tRRD", "tCCD", "tRTRS"):
+        with pytest.raises(ConfigError):
+            TimingParams(**_valid_kwargs(**{field: -1}))
+
+
+def test_rejects_odd_burst_length():
+    with pytest.raises(ConfigError):
+        TimingParams(**_valid_kwargs(burst_length=5))
+
+
+def test_rejects_tras_shorter_than_trcd():
+    with pytest.raises(ConfigError):
+        TimingParams(**_valid_kwargs(tRAS=4, tRCD=5))
+
+
+def test_rejects_tfaw_below_trrd():
+    with pytest.raises(ConfigError):
+        TimingParams(**_valid_kwargs(tFAW=2, tRRD=3))
+
+
+def test_refresh_validation():
+    with pytest.raises(ConfigError):
+        TimingParams(**_valid_kwargs(tREFI=100, tRFC=0))
+    with pytest.raises(ConfigError):
+        TimingParams(**_valid_kwargs(tREFI=50, tRFC=60))
+    with pytest.raises(ConfigError):
+        TimingParams(**_valid_kwargs(tREFI=0, tRFC=10))
+
+
+def test_timing_params_are_immutable():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DDR2_800.tCL = 4
+
+
+def test_read_write_to_precharge_windows():
+    t = DDR2_800
+    assert t.read_to_precharge == max(t.tRTP, t.data_cycles)
+    assert t.write_to_precharge == t.tCWL + t.data_cycles + t.tWR

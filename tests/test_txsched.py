@@ -1,0 +1,110 @@
+"""Tests for the transaction scheduler priority (Table 2 / Figure 6).
+
+These drive the BurstScheduler's ``schedule`` directly with crafted
+queue states and observe which transaction goes on the command bus.
+"""
+
+import pytest
+
+from repro.controller.access import AccessType
+from repro.controller.system import MemorySystem
+from repro.mapping.base import DecodedAddress
+from repro.sim.engine import OpenLoopDriver
+
+
+def _addr(system, rank=0, bank=0, row=0, col=0):
+    return system.mapping.encode(DecodedAddress(0, rank, bank, row, col))
+
+
+@pytest.fixture
+def system(small_config):
+    return MemorySystem(small_config, "Burst")
+
+
+def _run_until_idle(system, limit=5000):
+    while not system.idle and system.cycle < limit:
+        system.tick()
+    assert system.idle
+
+
+def test_burst_column_accesses_run_back_to_back(system):
+    """Priority 1 (last bank first): a burst's columns are contiguous
+    on the data bus — spaced exactly data_cycles apart."""
+    requests = [
+        (0, AccessType.READ, _addr(system, row=1, col=c)) for c in range(4)
+    ]
+    driver = OpenLoopDriver(system, requests)
+    driver.run()
+    ends = sorted(a.complete_cycle for a in driver.completed)
+    gaps = [b - a for a, b in zip(ends, ends[1:])]
+    assert gaps == [system.config.timing.data_cycles] * 3
+
+
+def test_same_rank_bursts_interleave(system):
+    """Priority 2: bursts in two banks of one rank interleave so the
+    data bus stays busy — total time is close to the sum of payloads."""
+    t = system.config.timing
+    requests = []
+    for c in range(4):
+        requests.append((0, AccessType.READ, _addr(system, bank=0, row=1, col=c)))
+        requests.append((0, AccessType.READ, _addr(system, bank=1, row=1, col=c)))
+    driver = OpenLoopDriver(system, requests)
+    driver.run()
+    ends = sorted(a.complete_cycle for a in driver.completed)
+    busy = 8 * t.data_cycles
+    overhead = t.tRCD + t.tCL + t.tRRD  # pipeline fill
+    assert ends[-1] - ends[0] == (8 - 1) * t.data_cycles
+    assert ends[-1] <= busy + overhead
+
+
+def test_overhead_transactions_overlap_data_transfer(system):
+    """Priority 3: precharge/activate of one bank issue while another
+    bank's data is on the bus, so a conflict behind a burst costs
+    little extra."""
+    t = system.config.timing
+    # A 6-read burst in bank0, plus one conflicting access in bank1
+    # (bank1 is first opened to another row by an earlier read).
+    requests = [(0, AccessType.READ, _addr(system, bank=1, row=9))]
+    requests += [
+        (0, AccessType.READ, _addr(system, bank=0, row=1, col=c))
+        for c in range(6)
+    ]
+    requests.append((0, AccessType.READ, _addr(system, bank=1, row=2)))
+    driver = OpenLoopDriver(system, requests)
+    driver.run()
+    conflict = next(
+        a for a in driver.completed if a.bank == 1 and a.row == 2
+    )
+    row9 = next(a for a in driver.completed if a.row == 9)
+    # The conflict's precharge (and part of its activate) overlapped
+    # the preceding data transfer: measured from the previous bank-1
+    # data end, it finishes in less than a full serial row-conflict.
+    serial = t.tRP + t.tRCD + t.tCL + t.data_cycles
+    assert conflict.complete_cycle - row9.complete_cycle < serial
+
+
+def test_reads_win_ties_over_writes(system):
+    """Within each priority category reads beat writes (Table 2)."""
+    w = system.make_access(AccessType.WRITE, _addr(system, bank=0, row=1), 0)
+    system.enqueue(w, 0)
+    r = system.make_access(AccessType.READ, _addr(system, bank=1, row=1), 0)
+    system.enqueue(r, 0)
+    _run_until_idle(system)
+    assert r.complete_cycle < w.complete_cycle
+
+
+def test_oldest_first_tie_break_across_banks(system):
+    """Two row-empty reads in different banks: the older activates
+    first (oldest-first tie break)."""
+    younger = system.make_access(
+        AccessType.READ, _addr(system, bank=1, row=1), 0
+    )
+    older = system.make_access(
+        AccessType.READ, _addr(system, bank=0, row=1), 0
+    )
+    older.arrival = -1  # force distinct age
+    system.enqueue(older, 0)
+    system.enqueue(younger, 0)
+    older.arrival = -1
+    _run_until_idle(system)
+    assert older.complete_cycle < younger.complete_cycle
