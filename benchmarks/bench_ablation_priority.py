@@ -9,8 +9,6 @@ otherwise unchanged Burst_TH mechanism and measures the cost on the
 streaming benchmarks.
 """
 
-import pytest
-
 from benchmarks.conftest import run_once
 from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.tables import format_table

@@ -28,9 +28,15 @@ def _results_dir():
 
 @pytest.fixture(scope="session", autouse=True)
 def _shared_run_cache():
-    """One memoisation cache across the whole benchmark session, so
-    fig7/fig9/fig10 (which share the benchmark x mechanism matrix)
-    only simulate each cell once."""
+    """Share one run cache across the whole benchmark session.
+
+    Within the session the in-process memo makes fig7/fig9/fig10
+    (which share the benchmark x mechanism matrix) simulate each cell
+    at most once; across sessions the persistent ``.repro-cache/``
+    store (repro.experiments.runner) takes over, so a re-run at the
+    same scale, seed and code version simulates nothing at all.  The
+    fixture only resets the memo — persistence is the runner's job.
+    """
     clear_cache()
     yield
     clear_cache()

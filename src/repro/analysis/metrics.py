@@ -9,7 +9,7 @@ geometric mean for robustness comparisons.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Mapping, Sequence
+from typing import Dict, Mapping, Sequence
 
 from repro.errors import ConfigError
 

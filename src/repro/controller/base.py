@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import abc
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.controller.access import AccessType, EnqueueStatus, MemoryAccess
+from repro.controller.access import EnqueueStatus, MemoryAccess
 from repro.controller.pool import AccessPool
 from repro.controller.rowpolicy import RowPolicyPredictor
 from repro.dram.channel import Channel

@@ -23,7 +23,7 @@ and close-page-autoprecharge.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 BankKey = Tuple[int, int]
 

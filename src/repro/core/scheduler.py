@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.controller.access import MemoryAccess
-from repro.controller.base import ACTIVATE, COLUMN, PRECHARGE, Scheduler
+from repro.controller.base import COLUMN, Scheduler
 from repro.core.burst import BurstQueue
 
 BankKey = Tuple[int, int]

@@ -21,7 +21,7 @@ enabled on any simulation for debugging new mechanisms.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import SchedulerError
 

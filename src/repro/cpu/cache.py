@@ -10,7 +10,7 @@ schedulers see, "filtered by cache(s)" as §2 puts it.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigError

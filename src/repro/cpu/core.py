@@ -49,6 +49,31 @@ class CoreResult:
         """Retired instructions per CPU cycle."""
         return self.instructions / self.cpu_cycles if self.cpu_cycles else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (persistent result cache / workers)."""
+        return {
+            "mem_cycles": self.mem_cycles,
+            "cpu_cycles": self.cpu_cycles,
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "head_block_cycles": self.head_block_cycles,
+            "store_stall_cycles": self.store_stall_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreResult":
+        """Inverse of :meth:`to_dict` (lossless round-trip)."""
+        return cls(**{key: int(data[key]) for key in (
+            "mem_cycles",
+            "cpu_cycles",
+            "instructions",
+            "loads",
+            "stores",
+            "head_block_cycles",
+            "store_stall_cycles",
+        )})
+
 
 class OoOCore:
     """Replays a miss trace closed-loop against a memory system."""

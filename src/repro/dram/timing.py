@@ -29,7 +29,7 @@ tRFC      refresh cycle time (rank busy after REFRESH)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigError

@@ -4,13 +4,22 @@ Examples::
 
     repro-experiments list
     repro-experiments run fig10
-    repro-experiments run all
+    repro-experiments fig7 --jobs 4            # shorthand, 4 workers
+    repro-experiments run all --jobs 0         # all cores
+    repro-experiments report --jobs 8
+    repro-experiments cache info
+    repro-experiments cache clear
     REPRO_SCALE=0.5 repro-experiments run fig12   # quicker sweep
+
+Matrix cells are parallelised across ``--jobs`` (or ``REPRO_JOBS``)
+worker processes and persistently cached under ``.repro-cache/`` — a
+re-run of a figure whose cells are already on disk simulates nothing.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -26,8 +35,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
-    runner = sub.add_parser("run", help="run one experiment (or 'all')")
-    runner.add_argument("experiment", help="experiment id or 'all'")
+    runner_p = sub.add_parser(
+        "run", help="run one experiment (or 'all'); 'run' may be omitted"
+    )
+    runner_p.add_argument("experiment", help="experiment id or 'all'")
     reporter = sub.add_parser(
         "report", help="run everything and write EXPERIMENTS.md"
     )
@@ -35,18 +46,90 @@ def _build_parser() -> argparse.ArgumentParser:
         "path", nargs="?", default="EXPERIMENTS.md",
         help="output path (default: EXPERIMENTS.md)",
     )
+    for command in (runner_p, reporter):
+        command.add_argument(
+            "--jobs", "-j", type=int, default=None, metavar="N",
+            help=(
+                "worker processes for matrix cells (0 = all cores; "
+                "default: the REPRO_JOBS env var, then 1)"
+            ),
+        )
+        command.add_argument(
+            "--no-progress", action="store_true",
+            help="suppress the live cells-done progress line",
+        )
+    cache = sub.add_parser(
+        "cache", help="manage the persistent result cache (.repro-cache/)"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser(
+        "info", help="entry count, size and code-version breakdown"
+    )
+    cache_sub.add_parser("clear", help="delete every cached result")
     return parser
+
+
+def _apply_knobs(args: argparse.Namespace) -> None:
+    """Thread --jobs / --no-progress to the runner via environment.
+
+    The figure modules call ``run_matrix`` internally, so the
+    environment is the one channel that reaches every cell regardless
+    of which experiment asked for it.
+    """
+    if getattr(args, "jobs", None) is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    if getattr(args, "no_progress", False):
+        os.environ["REPRO_PROGRESS"] = "0"
+
+
+def _cache_main(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+
+    if args.cache_command == "clear":
+        removed = runner.cache_clear()
+        print(f"removed {removed} cached result(s) from {runner.cache_dir()}")
+        return 0
+    info = runner.cache_info()
+    print(f"cache dir     {info['dir']}")
+    print(f"entries       {info['entries']}"
+          f" ({info['current_entries']} for current code version)")
+    print(f"size          {info['bytes'] / 1024:.1f} KiB")
+    print(f"code version  {info['code_version']}")
+    if info["by_benchmark"]:
+        print("per benchmark:")
+        for bench, count in info["by_benchmark"].items():
+            print(f"  {bench:12s} {count}")
+    return 0
+
+
+def _summary() -> str:
+    """One-line account of where this invocation's cells came from."""
+    from repro.experiments.runner import TOTALS
+
+    return (
+        f"[matrix totals: {TOTALS.executed} simulated, "
+        f"{TOTALS.cached_disk} from disk cache, "
+        f"{TOTALS.cached_memo} memoised]"
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the repro-experiments command."""
     from repro.experiments import EXPERIMENTS
 
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Shorthand: `repro-experiments fig7 --jobs 4` == `... run fig7 ...`.
+    if argv and (argv[0] in EXPERIMENTS or argv[0] == "all"):
+        argv.insert(0, "run")
     args = _build_parser().parse_args(argv)
+    if args.command == "cache":
+        return _cache_main(args)
+    _apply_knobs(args)
     if args.command == "report":
         from repro.experiments.report import write_report
 
         path = write_report(args.path)
+        print(_summary())
         print(f"wrote {path}")
         return 0
     if args.command == "list":
@@ -69,7 +152,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         started = time.time()
         print(f"== {name} ==")
         print(EXPERIMENTS[name].main())
-        print(f"[{name} took {time.time() - started:.1f}s]\n")
+        print(f"[{name} took {time.time() - started:.1f}s]")
+        print(_summary() + "\n")
     return 0
 
 

@@ -3,7 +3,11 @@
 * :func:`run_benchmark` — one (benchmark, mechanism) closed-loop run,
   memoised so experiments that share cells (fig7/fig9/fig10 all use
   the same matrix) don't recompute them.
-* :func:`run_matrix` — the full benchmark x mechanism sweep.
+* :func:`run_matrix` — the full benchmark x mechanism sweep, fanned
+  out across worker processes when ``REPRO_JOBS`` (or ``jobs=``) asks
+  for more than one, and served from the persistent on-disk cache in
+  ``.repro-cache/`` when a cell has been simulated before (see
+  :mod:`repro.experiments.runner`).
 * Scaling knobs: ``REPRO_SCALE`` multiplies the default access counts
   (use 0.25 for a quick look, 4 for a long, low-noise run) and
   ``REPRO_SEED`` changes the workload seed.
@@ -12,13 +16,13 @@
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
-from repro.controller.system import MemorySystem
-from repro.cpu.core import CoreResult, OoOCore
+from repro.cpu.core import CoreResult
+from repro.experiments import runner
 from repro.sim.config import SystemConfig, baseline_config
 from repro.sim.stats import SimStats
-from repro.workloads.spec2000 import benchmark_names, make_benchmark_trace
+from repro.workloads.spec2000 import benchmark_names
 
 #: Accesses per benchmark run before REPRO_SCALE is applied.
 DEFAULT_ACCESSES = 6000
@@ -56,8 +60,30 @@ _cache: Dict[Tuple, Tuple[SimStats, CoreResult]] = {}
 
 
 def clear_cache() -> None:
-    """Drop memoised runs (tests use this between configurations)."""
+    """Drop memoised runs (tests use this between configurations).
+
+    Only the in-process memo is cleared; the persistent on-disk store
+    survives (disable it with ``REPRO_CACHE=0`` or wipe it with
+    ``repro-experiments cache clear``).
+    """
     _cache.clear()
+
+
+def _resolve_cell(
+    benchmark: str,
+    mechanism: str,
+    accesses: Optional[int],
+    config: Optional[SystemConfig],
+    seed: Optional[int],
+    threshold: Optional[int] = None,
+) -> runner.Cell:
+    """Apply scaling and defaults, yielding a fully-resolved cell."""
+    n = scaled_accesses(accesses)
+    seed = default_seed() if seed is None else seed
+    cfg = config if config is not None else baseline_config()
+    if threshold is not None:
+        cfg = cfg.with_threshold(threshold)
+    return (benchmark, mechanism, n, seed, cfg)
 
 
 def run_benchmark(
@@ -84,20 +110,16 @@ def run_benchmark_full(
     threshold: Optional[int] = None,
 ) -> Tuple[SimStats, CoreResult]:
     """Memoised closed-loop run returning (stats, core result)."""
-    n = scaled_accesses(accesses)
-    seed = default_seed() if seed is None else seed
-    cfg = config if config is not None else baseline_config()
-    if threshold is not None:
-        cfg = cfg.with_threshold(threshold)
-    key = (benchmark, mechanism, n, seed, cfg)
-    hit = _cache.get(key)
+    cell = _resolve_cell(
+        benchmark, mechanism, accesses, config, seed, threshold
+    )
+    hit = _cache.get(cell)
     if hit is not None:
         return hit
-    trace = make_benchmark_trace(benchmark, n, seed)
-    system = MemorySystem(cfg, mechanism)
-    result = OoOCore(system, trace).run()
-    _cache[key] = (system.stats, result)
-    return system.stats, result
+    results, _ = runner.run_cells(
+        [cell], jobs=1, memo=_cache, progress=False
+    )
+    return results[cell]
 
 
 def run_matrix(
@@ -106,17 +128,25 @@ def run_matrix(
     accesses: Optional[int] = None,
     config: Optional[SystemConfig] = None,
     seed: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[Tuple[str, str], Tuple[SimStats, CoreResult]]:
-    """Run the benchmark x mechanism sweep behind Figures 7, 9 and 10."""
+    """Run the benchmark x mechanism sweep behind Figures 7, 9 and 10.
+
+    ``jobs`` (default: the ``REPRO_JOBS`` environment knob) selects
+    the worker-process count; cells already in the in-process memo or
+    the persistent cache are never re-simulated.
+    """
     benchmarks = list(benchmarks) if benchmarks else benchmark_names()
     mechanisms = list(mechanisms) if mechanisms else list(MECHANISMS)
-    results = {}
-    for benchmark in benchmarks:
-        for mechanism in mechanisms:
-            results[(benchmark, mechanism)] = run_benchmark_full(
-                benchmark, mechanism, accesses, config, seed
-            )
-    return results
+    cells = {
+        (benchmark, mechanism): _resolve_cell(
+            benchmark, mechanism, accesses, config, seed
+        )
+        for benchmark in benchmarks
+        for mechanism in mechanisms
+    }
+    resolved, _ = runner.run_cells(cells.values(), jobs=jobs, memo=_cache)
+    return {pair: resolved[cell] for pair, cell in cells.items()}
 
 
 __all__ = [

@@ -1,0 +1,427 @@
+"""Parallel experiment runner with a persistent on-disk result cache.
+
+``run_matrix`` used to compute its (benchmark, mechanism) cells one at
+a time and remembered them only in an in-process dict, so every figure
+script and every ``pytest benchmarks/`` invocation re-paid the full
+sequential simulation cost.  This module supplies the two layers that
+fix that:
+
+* **Parallelism** — :func:`run_cells` fans fully-resolved cells out
+  across a ``multiprocessing`` pool (processes, not threads: the
+  simulator is CPU-bound pure Python).  ``REPRO_JOBS`` (or the CLI's
+  ``--jobs``) selects the worker count; ``REPRO_JOBS=1`` — the default
+  — keeps the exact in-process sequential behaviour every existing
+  caller assumes, and ``REPRO_JOBS=0`` means "all cores".
+* **Persistence** — every simulated cell is written to a
+  content-addressed JSON store under ``.repro-cache/`` keyed by a
+  stable hash of (benchmark, mechanism, access count, seed, full
+  :class:`SystemConfig`, code version), so re-running fig7/fig9/fig10
+  — which share cells — hits disk instead of re-simulating, across
+  processes *and* across invocations.  Any source change under
+  ``src/repro`` changes the code-version component and cleanly
+  invalidates every stale entry.
+
+Environment knobs::
+
+    REPRO_JOBS=8        # worker processes (0 = all cores, default 1)
+    REPRO_CACHE=0       # disable the persistent cache entirely
+    REPRO_CACHE_DIR=d   # cache location (default ./.repro-cache)
+    REPRO_PROGRESS=1    # force progress lines on (0 = off,
+                        # unset = only when stderr is a tty)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import shutil
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import repro
+from repro.controller.system import MemorySystem
+from repro.cpu.core import CoreResult, OoOCore
+from repro.errors import ConfigError
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimStats
+from repro.workloads.spec2000 import make_benchmark_trace
+
+#: One fully-resolved unit of work: (benchmark, mechanism, accesses,
+#: seed, config).  Scaling (REPRO_SCALE) and defaulting happen in
+#: ``experiments.common`` before a cell reaches this module.
+Cell = Tuple[str, str, int, int, SystemConfig]
+
+#: Bump to invalidate every cached result regardless of code version
+#: (e.g. when the cache file layout itself changes).
+CACHE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Knobs
+# ----------------------------------------------------------------------
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (0 = all cores, default 1)."""
+    raw = os.environ.get("REPRO_JOBS", "1")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_JOBS must be an integer, got {raw!r}"
+        ) from None
+    if jobs < 0:
+        raise ConfigError(f"REPRO_JOBS must be >= 0, got {jobs}")
+    return jobs if jobs else (os.cpu_count() or 1)
+
+
+def cache_enabled() -> bool:
+    """Persistent caching is on unless ``REPRO_CACHE=0``."""
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def cache_dir() -> Path:
+    """Cache root: ``REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+# ----------------------------------------------------------------------
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file, computed once per process.
+
+    Folding this into every cell key means a cached result can never
+    outlive the simulator that produced it: touch any file under
+    ``src/repro`` and the whole store is cleanly invalidated (stale
+    entries are simply never addressed again; ``cache clear`` reclaims
+    the disk).
+    """
+    global _code_version
+    if _code_version is None:
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def cell_key(
+    benchmark: str,
+    mechanism: str,
+    accesses: int,
+    seed: int,
+    config: SystemConfig,
+) -> str:
+    """Content address of one cell — stable across processes."""
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "code_version": code_version(),
+        "benchmark": benchmark,
+        "mechanism": mechanism,
+        "accesses": accesses,
+        "seed": seed,
+        "config": config.to_dict(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _cache_path(key: str) -> Path:
+    # Two-level fan-out keeps directories small on big sweeps.
+    return cache_dir() / key[:2] / f"{key}.json"
+
+
+# ----------------------------------------------------------------------
+# Cache I/O
+# ----------------------------------------------------------------------
+
+
+def cache_load(key: str) -> Optional[Tuple[SimStats, CoreResult]]:
+    """Load one cached cell; any corruption reads as a miss."""
+    path = _cache_path(key)
+    try:
+        data = json.loads(path.read_text())
+        return (
+            SimStats.from_dict(data["stats"]),
+            CoreResult.from_dict(data["core"]),
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def cache_store(
+    key: str, cell: Cell, stats: SimStats, core: CoreResult
+) -> None:
+    """Atomically persist one simulated cell (tmp file + rename)."""
+    benchmark, mechanism, accesses, seed, _config = cell
+    path = _cache_path(key)
+    payload = {
+        "key": key,
+        "benchmark": benchmark,
+        "mechanism": mechanism,
+        "accesses": accesses,
+        "seed": seed,
+        "code_version": code_version(),
+        "stats": stats.to_dict(),
+        "core": core.to_dict(),
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+    except OSError:
+        pass  # a read-only cache dir degrades to "no persistence"
+
+
+def cache_info() -> Dict[str, object]:
+    """Summarise the persistent store for ``cache info``."""
+    root = cache_dir()
+    entries = 0
+    current = 0
+    size = 0
+    by_benchmark: Dict[str, int] = {}
+    version = code_version()
+    if root.is_dir():
+        for path in root.rglob("*.json"):
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            entries += 1
+            size += path.stat().st_size
+            if data.get("code_version") == version:
+                current += 1
+            bench = data.get("benchmark", "?")
+            by_benchmark[bench] = by_benchmark.get(bench, 0) + 1
+    return {
+        "dir": str(root),
+        "entries": entries,
+        "current_entries": current,
+        "bytes": size,
+        "code_version": version,
+        "by_benchmark": dict(sorted(by_benchmark.items())),
+    }
+
+
+def cache_clear() -> int:
+    """Delete the persistent store; returns entries removed."""
+    root = cache_dir()
+    if not root.is_dir():
+        return 0
+    removed = sum(1 for _ in root.rglob("*.json"))
+    shutil.rmtree(root)
+    return removed
+
+
+# ----------------------------------------------------------------------
+# Simulation
+# ----------------------------------------------------------------------
+
+
+def simulate_cell(
+    benchmark: str,
+    mechanism: str,
+    accesses: int,
+    seed: int,
+    config: SystemConfig,
+) -> Tuple[SimStats, CoreResult]:
+    """One closed-loop run — pure function of its arguments."""
+    trace = make_benchmark_trace(benchmark, accesses, seed)
+    system = MemorySystem(config, mechanism)
+    result = OoOCore(system, trace).run()
+    return system.stats, result
+
+
+def _worker(job: Tuple[int, Cell]) -> Tuple[int, dict, dict]:
+    """Pool worker: simulate one cell, ship dicts back to the parent.
+
+    The parent owns all cache traffic (lookups happen before dispatch,
+    stores after collection), so workers stay free of filesystem
+    coordination and the executed/cached accounting stays exact.
+    """
+    index, cell = job
+    stats, core = simulate_cell(*cell)
+    return index, stats.to_dict(), core.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Progress / accounting
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RunReport:
+    """Provenance of one :func:`run_cells` call."""
+
+    total: int = 0
+    cached_memo: int = 0
+    cached_disk: int = 0
+    executed: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def done(self) -> int:
+        return self.cached_memo + self.cached_disk + self.executed
+
+    @property
+    def running(self) -> int:
+        return self.total - self.done
+
+
+#: Session-wide totals across every run_cells call (CLI summary line).
+TOTALS = RunReport()
+
+
+def _auto_progress() -> Optional[Callable[[RunReport], None]]:
+    flag = os.environ.get("REPRO_PROGRESS")
+    if flag == "0":
+        return None
+    if flag != "1" and not sys.stderr.isatty():
+        return None
+    return _print_progress
+
+
+def _print_progress(report: RunReport) -> None:
+    sys.stderr.write(
+        f"\r[matrix] {report.done}/{report.total} cells"
+        f" | memo {report.cached_memo}"
+        f" | disk {report.cached_disk}"
+        f" | simulated {report.executed}"
+        f" | running {report.running}"
+        f" | {report.elapsed:.1f}s"
+    )
+    if report.done == report.total:
+        sys.stderr.write("\n")
+    sys.stderr.flush()
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+
+
+def run_cells(
+    cells: Iterable[Cell],
+    jobs: Optional[int] = None,
+    memo: Optional[Dict[Cell, Tuple[SimStats, CoreResult]]] = None,
+    progress: object = None,
+) -> Tuple[Dict[Cell, Tuple[SimStats, CoreResult]], RunReport]:
+    """Resolve every cell via memo -> disk cache -> simulation.
+
+    ``jobs`` defaults to ``REPRO_JOBS``; misses are simulated in a
+    process pool when ``jobs > 1`` and more than one cell misses,
+    otherwise inline (identical results either way — the simulator is
+    a pure function of the cell, and ``tests/test_runner.py`` asserts
+    byte-identical stats across both paths).
+
+    ``memo`` is the caller's in-process dict; hits return the *same*
+    objects, preserving the memoisation identity semantics of
+    ``experiments.common``.  ``progress`` may be a callable taking the
+    :class:`RunReport`, ``False`` to disable, or ``None`` for the
+    REPRO_PROGRESS / tty default.
+    """
+    cells = list(dict.fromkeys(cells))
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    memo = {} if memo is None else memo
+    use_disk = cache_enabled()
+    report = RunReport(total=len(cells))
+    if progress is False:
+        notify = None
+    elif progress is None:
+        notify = _auto_progress()
+    else:
+        notify = progress
+    started = time.monotonic()
+
+    def tick() -> None:
+        report.elapsed = time.monotonic() - started
+        if notify is not None:
+            notify(report)
+
+    results: Dict[Cell, Tuple[SimStats, CoreResult]] = {}
+    pending: List[Cell] = []
+    keys: Dict[Cell, str] = {}
+    for cell in cells:
+        hit = memo.get(cell)
+        if hit is not None:
+            results[cell] = hit
+            report.cached_memo += 1
+            TOTALS.cached_memo += 1
+            tick()
+            continue
+        if use_disk:
+            keys[cell] = cell_key(*cell)
+            loaded = cache_load(keys[cell])
+            if loaded is not None:
+                memo[cell] = loaded
+                results[cell] = loaded
+                report.cached_disk += 1
+                TOTALS.cached_disk += 1
+                tick()
+                continue
+        pending.append(cell)
+
+    def finish(cell: Cell, stats: SimStats, core: CoreResult) -> None:
+        if use_disk:
+            cache_store(keys.get(cell) or cell_key(*cell), cell, stats, core)
+        memo[cell] = (stats, core)
+        results[cell] = (stats, core)
+        report.executed += 1
+        TOTALS.executed += 1
+        tick()
+
+    if jobs > 1 and len(pending) > 1:
+        workers = min(jobs, len(pending))
+        with multiprocessing.Pool(processes=workers) as pool:
+            jobs_iter = pool.imap_unordered(
+                _worker, list(enumerate(pending)), chunksize=1
+            )
+            for index, stats_dict, core_dict in jobs_iter:
+                finish(
+                    pending[index],
+                    SimStats.from_dict(stats_dict),
+                    CoreResult.from_dict(core_dict),
+                )
+    else:
+        for cell in pending:
+            stats, core = simulate_cell(*cell)
+            finish(cell, stats, core)
+
+    report.elapsed = time.monotonic() - started
+    TOTALS.total += report.total
+    TOTALS.elapsed += report.elapsed
+    return results, report
+
+
+__all__ = [
+    "CACHE_VERSION",
+    "Cell",
+    "RunReport",
+    "TOTALS",
+    "cache_clear",
+    "cache_dir",
+    "cache_enabled",
+    "cache_info",
+    "cache_load",
+    "cache_store",
+    "cell_key",
+    "code_version",
+    "default_jobs",
+    "run_cells",
+    "simulate_cell",
+]

@@ -9,7 +9,10 @@ access pool of 256 entries of which at most 64 may be writes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict
 
 from repro.dram.timing import DDR2_800, TimingParams
 from repro.errors import ConfigError
@@ -134,6 +137,41 @@ class SystemConfig:
     def with_threshold(self, threshold: int) -> "SystemConfig":
         """A copy with a different Burst_TH threshold (§5.4 sweeps)."""
         return replace(self, threshold=threshold)
+
+    # ------------------------------------------------------------------
+    # Stable serialization (persistent result cache keys)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the full configuration.
+
+        Nested frozen dataclasses (timing, CPU) flatten to plain
+        dictionaries, so the result survives ``json.dumps`` and feeds
+        :meth:`fingerprint`.
+        """
+        data = asdict(self)
+        data["timing"] = asdict(self.timing)
+        data["cpu"] = asdict(self.cpu)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SystemConfig":
+        """Inverse of :meth:`to_dict` (revalidates on construction)."""
+        payload = dict(data)
+        payload["timing"] = TimingParams(**payload["timing"])
+        payload["cpu"] = CPUConfig(**payload["cpu"])
+        return cls(**payload)
+
+    def fingerprint(self) -> str:
+        """Stable short hash of the configuration.
+
+        Unlike ``hash()`` (randomized per process for strings), this
+        digest is identical across processes and invocations, so it is
+        safe to use in on-disk cache keys.
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 def baseline_config(**overrides) -> SystemConfig:

@@ -15,8 +15,8 @@ Everything the paper's evaluation section plots comes out of
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.dram.channel import RowState
 
@@ -46,7 +46,12 @@ class LatencyStat:
         return self.total / self.count if self.count else 0.0
 
     def merge(self, other: "LatencyStat") -> None:
-        """Fold another accumulator into this one."""
+        """Fold another accumulator into this one.
+
+        Merging an empty accumulator is a no-op on ``min``/``max``
+        (they stay ``None`` until a real sample arrives), and merging
+        *into* an empty one adopts the other's bounds unchanged.
+        """
         self.count += other.count
         self.total += other.total
         for bound in ("min", "max"):
@@ -60,6 +65,25 @@ class LatencyStat:
                 setattr(self, bound, min(ours, theirs))
             else:
                 setattr(self, bound, max(ours, theirs))
+
+    def to_dict(self) -> Dict[str, Optional[int]]:
+        """JSON-safe snapshot; ``min``/``max`` stay ``None`` when empty."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Optional[int]]) -> "LatencyStat":
+        """Inverse of :meth:`to_dict` (lossless round-trip)."""
+        stat = cls()
+        stat.count = int(data["count"])
+        stat.total = int(data["total"])
+        stat.min = None if data["min"] is None else int(data["min"])
+        stat.max = None if data["max"] is None else int(data["max"])
+        return stat
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LatencyStat(n={self.count}, mean={self.mean:.1f})"
@@ -111,6 +135,23 @@ class Histogram:
             return []
         return [(k, v / total) for k, v in sorted(self.counts.items())]
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's weights into this one."""
+        for key, weight in other.counts.items():
+            self.counts[key] += weight
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-safe snapshot (JSON keys must be strings)."""
+        return {str(k): v for k, v in sorted(self.counts.items())}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "Histogram":
+        """Inverse of :meth:`to_dict` (lossless round-trip)."""
+        hist = cls()
+        for key, weight in data.items():
+            hist.counts[int(key)] = int(weight)
+        return hist
+
 
 @dataclass
 class SimStats:
@@ -146,6 +187,105 @@ class SimStats:
     read_latency_per_slice: Dict[int, LatencyStat] = field(
         default_factory=dict
     )
+
+    #: Plain integer counters (everything that is not a nested
+    #: accumulator); drives merge and serialization uniformly.
+    _COUNTER_FIELDS = (
+        "cycles",
+        "completed_reads",
+        "completed_writes",
+        "forwarded_reads",
+        "preemptions",
+        "piggybacked_writes",
+        "write_queue_full_cycles",
+        "pool_full_cycles",
+        "cmd_bus_cycles",
+        "data_bus_cycles",
+        "refreshes",
+        "cpu_stall_cycles",
+        "instructions",
+    )
+
+    # ------------------------------------------------------------------
+    # Merge / serialization (parallel runner, persistent result cache)
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "SimStats") -> None:
+        """Fold another run's statistics into this bundle.
+
+        Counters add, latency accumulators and histograms merge, and
+        per-slice latencies merge slice-wise — the multi-shard
+        counterpart of :meth:`LatencyStat.merge`.
+        """
+        for name in self._COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.read_latency.merge(other.read_latency)
+        self.write_latency.merge(other.write_latency)
+        for state, count in other.row_states.items():
+            self.row_states[state] = self.row_states.get(state, 0) + count
+        self.outstanding_reads.merge(other.outstanding_reads)
+        self.outstanding_writes.merge(other.outstanding_writes)
+        self.burst_sizes.merge(other.burst_sizes)
+        for slot, stat in other.read_latency_per_slice.items():
+            mine = self.read_latency_per_slice.setdefault(slot, LatencyStat())
+            mine.merge(stat)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-safe snapshot of every field.
+
+        ``from_dict(to_dict())`` reconstructs an equal bundle; the
+        persistent result cache and the multiprocessing workers both
+        ship stats through this form.  ``tests/test_stats.py`` asserts
+        the key set matches the dataclass fields, so a new field cannot
+        silently skip serialization.
+        """
+        data: Dict[str, object] = {
+            name: getattr(self, name) for name in self._COUNTER_FIELDS
+        }
+        data["read_latency"] = self.read_latency.to_dict()
+        data["write_latency"] = self.write_latency.to_dict()
+        data["row_states"] = {
+            state.value: self.row_states.get(state, 0) for state in RowState
+        }
+        data["outstanding_reads"] = self.outstanding_reads.to_dict()
+        data["outstanding_writes"] = self.outstanding_writes.to_dict()
+        data["burst_sizes"] = self.burst_sizes.to_dict()
+        data["read_latency_per_slice"] = {
+            str(slot): stat.to_dict()
+            for slot, stat in sorted(self.read_latency_per_slice.items())
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimStats":
+        """Inverse of :meth:`to_dict` (lossless round-trip)."""
+        stats = cls()
+        for name in cls._COUNTER_FIELDS:
+            # No int() coercion: bus-cycle counters are per-channel
+            # *averages* (see MemorySystem.finalize) and may be
+            # fractional; JSON already round-trips int/float exactly.
+            setattr(stats, name, data[name])
+        stats.read_latency = LatencyStat.from_dict(data["read_latency"])
+        stats.write_latency = LatencyStat.from_dict(data["write_latency"])
+        for label, count in data["row_states"].items():
+            stats.row_states[RowState(label)] = int(count)
+        stats.outstanding_reads = Histogram.from_dict(
+            data["outstanding_reads"]
+        )
+        stats.outstanding_writes = Histogram.from_dict(
+            data["outstanding_writes"]
+        )
+        stats.burst_sizes = Histogram.from_dict(data["burst_sizes"])
+        stats.read_latency_per_slice = {
+            int(slot): LatencyStat.from_dict(stat)
+            for slot, stat in data["read_latency_per_slice"].items()
+        }
+        return stats
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        """Dataclass field names (serialization coverage checks)."""
+        return tuple(f.name for f in fields(cls))
 
     # ------------------------------------------------------------------
     # Derived metrics used by the experiment harness

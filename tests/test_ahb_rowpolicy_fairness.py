@@ -10,7 +10,6 @@ from repro.analysis.fairness import (
     latency_disparity,
     per_core_read_latency,
 )
-from repro.controller.access import AccessType
 from repro.controller.ahb import AHBScheduler
 from repro.controller.rowpolicy import (
     CLOSE_THRESHOLD,
@@ -20,7 +19,7 @@ from repro.controller.system import MemorySystem
 from repro.cpu.core import OoOCore
 from repro.dram.channel import RowState
 from repro.errors import ConfigError
-from repro.sim.engine import OpenLoopDriver, run_requests
+from repro.sim.engine import OpenLoopDriver
 from repro.workloads.mixes import make_mix_trace
 from repro.workloads.spec2000 import make_benchmark_trace
 from tests.conftest import make_request_stream

@@ -2,7 +2,6 @@
 
 from dataclasses import replace
 
-import pytest
 
 from repro.controller.access import AccessType
 from repro.controller.system import MemorySystem

@@ -1,7 +1,5 @@
 """Unit tests for the system configuration (paper Table 3)."""
 
-from dataclasses import replace
-
 import pytest
 
 from repro.errors import ConfigError

@@ -5,8 +5,6 @@
 * the naive-issue ablation switch (Table 2 priority off).
 """
 
-from dataclasses import replace
-
 import pytest
 
 from repro.controller.access import AccessType, MemoryAccess
@@ -68,7 +66,7 @@ def test_dynamic_threshold_directionality(small_config):
 def test_dynamic_completes_benchmarks(config):
     trace = make_benchmark_trace("gcc", 800, seed=2)
     system = MemorySystem(config, "Burst_DYN")
-    result = OoOCore(system, trace).run()
+    OoOCore(system, trace).run()
     stats = system.stats
     assert (
         stats.completed_reads + stats.completed_writes + stats.forwarded_reads

@@ -8,7 +8,6 @@ from repro.cpu.core import OoOCore
 from repro.errors import ConfigError
 from repro.sim.fsb import FSBAdapter
 from repro.workloads.spec2000 import make_benchmark_trace
-from repro.workloads.trace import TraceRecord
 
 
 def test_rejects_bad_transfer_cycles(quiet_config):

@@ -1,7 +1,5 @@
 """Unit tests for the Intel (patent 7,127,574 style) scheduler."""
 
-import pytest
-
 from repro.controller.access import AccessType
 from repro.controller.intel import IntelScheduler
 from repro.controller.system import MemorySystem

@@ -10,7 +10,6 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.tables import format_mapping, format_series, format_table
 from repro.controller.registry import (
-    MECHANISMS,
     make_scheduler_factory,
     mechanism_names,
 )

@@ -50,7 +50,6 @@ def test_oldest_hit_wins_among_hits(system):
 def test_reads_and_writes_treated_equally(system):
     """A same-row write is hoisted just like a read (§4.2: RowHit
     treats reads and writes equally)."""
-    w_hit = None
     requests = [
         (0, AccessType.READ, _addr(system, row=1)),
         (0, AccessType.WRITE, _addr(system, row=2)),

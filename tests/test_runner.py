@@ -1,0 +1,192 @@
+"""Tests for the parallel runner and the persistent result cache.
+
+The two load-bearing guarantees:
+
+* parallel and sequential runs of the same matrix produce
+  byte-identical ``SimStats`` dictionaries (the simulator is a pure
+  function of the cell, and serialization is lossless);
+* a second invocation of the same matrix is served entirely from the
+  on-disk cache — zero simulations executed.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import common, runner
+from repro.sim.config import baseline_config
+
+BENCHES = ("swim", "mcf")
+MECHS = ("BkInOrder", "Burst_TH")
+N = 600
+SEED = 1
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the persistent store at a throwaway dir, reset the memo."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.setenv("REPRO_PROGRESS", "0")
+    common.clear_cache()
+    yield
+    common.clear_cache()
+
+
+def _cells():
+    cfg = baseline_config()
+    return [(b, m, N, SEED, cfg) for b in BENCHES for m in MECHS]
+
+
+def _dumps(stats):
+    return json.dumps(stats.to_dict(), sort_keys=True)
+
+
+def test_parallel_matches_sequential_byte_identical(tmp_path, monkeypatch):
+    cells = _cells()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "seq"))
+    seq, seq_report = runner.run_cells(cells, jobs=1, memo={})
+    assert seq_report.executed == len(cells)
+
+    # A separate store so every parallel cell really simulates.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "par"))
+    par, par_report = runner.run_cells(cells, jobs=2, memo={})
+    assert par_report.executed == len(cells)
+    assert par_report.cached_disk == 0
+
+    for cell in cells:
+        assert _dumps(seq[cell][0]) == _dumps(par[cell][0])
+        assert seq[cell][1].to_dict() == par[cell][1].to_dict()
+
+
+def test_second_invocation_all_from_disk_cache():
+    cells = _cells()
+    _, first = runner.run_cells(cells, jobs=2, memo={})
+    assert first.executed == len(cells)
+
+    # Fresh memo: only the on-disk store can satisfy these cells.
+    _, second = runner.run_cells(cells, jobs=2, memo={})
+    assert second.executed == 0
+    assert second.cached_disk == len(cells)
+
+    # Same memo again: everything memoised, disk untouched.
+    memo = {}
+    runner.run_cells(cells, jobs=1, memo=memo)
+    _, third = runner.run_cells(cells, jobs=1, memo=memo)
+    assert third.executed == 0
+    assert third.cached_memo == len(cells)
+
+
+def test_disk_cache_round_trip_preserves_reports():
+    cells = _cells()[:1]
+    fresh, _ = runner.run_cells(cells, jobs=1, memo={})
+    cached, report = runner.run_cells(cells, jobs=1, memo={})
+    assert report.cached_disk == 1
+    (cell,) = cells
+    assert cached[cell][0].report() == fresh[cell][0].report()
+    assert cached[cell][1] == fresh[cell][1]
+
+
+def test_run_matrix_parallel_equals_sequential(monkeypatch):
+    seq = common.run_matrix(BENCHES, MECHS, accesses=N, jobs=1)
+    common.clear_cache()
+    monkeypatch.setenv("REPRO_CACHE", "0")  # force re-simulation
+    par = common.run_matrix(BENCHES, MECHS, accesses=N, jobs=2)
+    assert set(seq) == set(par)
+    for pair in seq:
+        assert _dumps(seq[pair][0]) == _dumps(par[pair][0])
+
+
+def test_run_matrix_memo_identity_preserved():
+    stats = common.run_benchmark("swim", "Burst_TH", accesses=N)
+    matrix = common.run_matrix(("swim",), ("Burst_TH",), accesses=N, jobs=2)
+    assert matrix[("swim", "Burst_TH")][0] is stats
+
+
+def test_cell_key_sensitivity():
+    cfg = baseline_config()
+    base = runner.cell_key("swim", "Burst_TH", N, SEED, cfg)
+    assert base == runner.cell_key("swim", "Burst_TH", N, SEED, cfg)
+    assert base != runner.cell_key("mcf", "Burst_TH", N, SEED, cfg)
+    assert base != runner.cell_key("swim", "Burst", N, SEED, cfg)
+    assert base != runner.cell_key("swim", "Burst_TH", N + 1, SEED, cfg)
+    assert base != runner.cell_key("swim", "Burst_TH", N, SEED + 1, cfg)
+    assert base != runner.cell_key(
+        "swim", "Burst_TH", N, SEED, cfg.with_threshold(40)
+    )
+
+
+def test_corrupt_cache_entry_reads_as_miss():
+    cells = _cells()[:1]
+    runner.run_cells(cells, jobs=1, memo={})
+    for path in runner.cache_dir().rglob("*.json"):
+        path.write_text("{ not json")
+    _, report = runner.run_cells(cells, jobs=1, memo={})
+    assert report.executed == 1  # corrupt entry re-simulated and healed
+    _, again = runner.run_cells(cells, jobs=1, memo={})
+    assert again.cached_disk == 1
+
+
+def test_cache_disabled_by_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    cells = _cells()[:1]
+    runner.run_cells(cells, jobs=1, memo={})
+    assert not runner.cache_dir().exists()
+    _, report = runner.run_cells(cells, jobs=1, memo={})
+    assert report.executed == 1
+
+
+def test_cache_info_and_clear():
+    cells = _cells()
+    runner.run_cells(cells, jobs=1, memo={})
+    info = runner.cache_info()
+    assert info["entries"] == len(cells)
+    assert info["current_entries"] == len(cells)
+    assert info["bytes"] > 0
+    assert set(info["by_benchmark"]) == set(BENCHES)
+    assert runner.cache_clear() == len(cells)
+    assert runner.cache_info()["entries"] == 0
+    assert runner.cache_clear() == 0  # idempotent on an empty store
+
+
+def test_default_jobs_env(monkeypatch):
+    assert runner.default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    assert runner.default_jobs() == 7
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert runner.default_jobs() >= 1
+    monkeypatch.setenv("REPRO_JOBS", "bogus")
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        runner.default_jobs()
+
+
+def test_code_version_stable_and_short():
+    assert runner.code_version() == runner.code_version()
+    assert len(runner.code_version()) == 16
+
+
+def test_cli_cache_subcommands(capsys):
+    from repro.experiments.cli import main
+
+    runner.run_cells(_cells()[:1], jobs=1, memo={})
+    assert main(["cache", "info"]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and "1" in out
+    assert main(["cache", "clear"]) == 0
+    assert "removed 1" in capsys.readouterr().out
+
+
+def test_cli_shorthand_and_jobs(capsys, monkeypatch):
+    from repro.experiments.cli import main
+
+    monkeypatch.setenv("REPRO_SCALE", "0.01")  # floor: 500 accesses
+    # Register REPRO_JOBS with monkeypatch so the CLI's own setenv is
+    # rolled back after the test.
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    assert main(["table1", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out
+    assert main(["run", "table1"]) == 0  # explicit form still works

@@ -92,6 +92,136 @@ def test_effective_bandwidth_matches_paper_example():
     assert stats.effective_bandwidth_gbps() == pytest.approx(2.688)
 
 
+def test_latency_stat_round_trip():
+    stat = LatencyStat()
+    for v in (7, 3, 11):
+        stat.add(v)
+    clone = LatencyStat.from_dict(stat.to_dict())
+    assert clone.count == 3
+    assert clone.total == 21
+    assert clone.min == 3
+    assert clone.max == 11
+    assert clone.mean == stat.mean
+
+
+def test_latency_stat_empty_round_trip_keeps_none_bounds():
+    """Regression: empty stats must serialize min/max as None, not 0 —
+    a zero would poison the min of any later merge."""
+    clone = LatencyStat.from_dict(LatencyStat().to_dict())
+    assert clone.count == 0
+    assert clone.min is None
+    assert clone.max is None
+    assert clone.mean == 0.0
+    clone.add(42)
+    assert clone.min == 42  # None bounds did not clamp the first sample
+
+
+def test_latency_stat_merge_two_empties_stays_empty():
+    a, b = LatencyStat(), LatencyStat()
+    a.merge(b)
+    assert a.count == 0
+    assert a.min is None and a.max is None
+    # and the merged-empty accumulator still round-trips losslessly
+    assert LatencyStat.from_dict(a.to_dict()).min is None
+
+
+def test_latency_stat_merge_empty_into_populated_keeps_bounds():
+    a, b = LatencyStat(), LatencyStat()
+    a.add(5)
+    a.add(9)
+    a.merge(b)
+    assert (a.min, a.max, a.count) == (5, 9, 2)
+
+
+def test_histogram_merge_and_round_trip():
+    a, b = Histogram(), Histogram()
+    a.add(1, 2)
+    b.add(1, 3)
+    b.add(4)
+    a.merge(b)
+    assert a.counts == {1: 5, 4: 1}
+    clone = Histogram.from_dict(a.to_dict())
+    assert dict(clone.counts) == {1: 5, 4: 1}
+    clone.add(9)  # defaultdict behaviour survives the round-trip
+    assert clone.counts[9] == 1
+
+
+def _populated_stats():
+    stats = SimStats()
+    stats.cycles = 1000
+    stats.completed_reads = 70
+    stats.completed_writes = 30
+    stats.forwarded_reads = 2
+    stats.preemptions = 3
+    stats.piggybacked_writes = 4
+    stats.write_queue_full_cycles = 5
+    stats.pool_full_cycles = 6
+    stats.cmd_bus_cycles = 100
+    stats.data_bus_cycles = 400
+    stats.refreshes = 7
+    stats.cpu_stall_cycles = 8
+    stats.instructions = 9000
+    stats.read_latency.add(12)
+    stats.read_latency.add(30)
+    stats.write_latency.add(20)
+    stats.row_states[RowState.HIT] = 50
+    stats.row_states[RowState.CONFLICT] = 30
+    stats.row_states[RowState.EMPTY] = 20
+    stats.outstanding_reads.add(3, 500)
+    stats.outstanding_writes.add(1, 250)
+    stats.burst_sizes.add(4, 6)
+    slice_stat = LatencyStat()
+    slice_stat.add(17)
+    stats.read_latency_per_slice[2] = slice_stat
+    return stats
+
+
+def test_simstats_round_trip_lossless():
+    stats = _populated_stats()
+    clone = SimStats.from_dict(stats.to_dict())
+    assert clone.to_dict() == stats.to_dict()
+    assert clone.report() == stats.report()
+    assert clone.row_states == stats.row_states
+    assert clone.read_latency_per_slice[2].min == 17
+    assert clone.burst_sizes.counts == stats.burst_sizes.counts
+
+
+def test_simstats_round_trip_survives_json():
+    import json
+
+    stats = _populated_stats()
+    wire = json.loads(json.dumps(stats.to_dict()))
+    assert SimStats.from_dict(wire).to_dict() == stats.to_dict()
+
+
+def test_simstats_empty_round_trip():
+    clone = SimStats.from_dict(SimStats().to_dict())
+    assert clone.report() == SimStats().report()
+    assert clone.read_latency.min is None
+
+
+def test_simstats_to_dict_covers_every_field():
+    """A new SimStats field cannot silently skip serialization."""
+    assert set(SimStats().to_dict()) == set(SimStats.field_names())
+
+
+def test_simstats_merge():
+    a = _populated_stats()
+    b = _populated_stats()
+    expected_reads = a.completed_reads + b.completed_reads
+    a.merge(b)
+    assert a.completed_reads == expected_reads
+    assert a.cycles == 2000
+    assert a.read_latency.count == 4
+    assert a.read_latency.min == 12
+    assert a.row_states[RowState.HIT] == 100
+    assert a.outstanding_reads.counts[3] == 1000
+    assert a.read_latency_per_slice[2].count == 2
+    empty = SimStats()
+    empty.merge(a)
+    assert empty.to_dict() == a.to_dict()
+
+
 def test_report_contains_headline_keys():
     report = SimStats().report()
     for key in (

@@ -1,7 +1,5 @@
 """Unit tests for the synthetic miss-stream generator."""
 
-from dataclasses import replace
-
 import pytest
 
 from repro.controller.access import AccessType
