@@ -99,6 +99,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="CPU model: out-of-order ROB (paper) or blocking in-order",
     )
     parser.add_argument(
+        "--oracle", action="store_true",
+        help=(
+            "attach the independent DDR2 protocol-conformance oracle "
+            "(every SDRAM command is re-verified against a second "
+            "implementation of the timing rules; violations abort)"
+        ),
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of text"
     )
     parser.add_argument("--csv", help="write the summary as a one-row CSV file")
@@ -129,7 +137,9 @@ def _run(args):
     if args.threshold is not None:
         config = config.with_threshold(args.threshold)
     workload, trace = _make_trace(args)
-    system = MemorySystem(config, args.mechanism)
+    system = MemorySystem(
+        config, args.mechanism, oracle=True if args.oracle else None
+    )
     core_cls = OoOCore if args.cpu == "ooo" else InOrderCore
     result = core_cls(system, trace).run()
     stats = system.stats

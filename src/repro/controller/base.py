@@ -182,6 +182,7 @@ class Scheduler(abc.ABC):
                 access.row,
                 access.is_read,
                 auto_precharge,
+                column=access.column,
             )
             access.complete_cycle = data_end
             heapq.heappush(

@@ -16,6 +16,7 @@ utilisation, write-queue saturation).
 
 from __future__ import annotations
 
+import os
 from typing import Callable, List, Optional, Union
 
 from repro.controller.access import AccessType, EnqueueStatus, MemoryAccess
@@ -36,6 +37,7 @@ class MemorySystem:
         config: SystemConfig,
         mechanism: Union[str, Callable] = "Burst_TH",
         stats: Optional[SimStats] = None,
+        oracle: Optional[bool] = None,
     ) -> None:
         self.config = config
         self.stats = stats if stats is not None else SimStats()
@@ -58,6 +60,16 @@ class MemorySystem:
             )
         self.mechanism_name = self.schedulers[0].name
         self.cycle = 0
+        # Opt-in independent protocol conformance oracle: one shadow
+        # verifier per channel, re-checking every SDRAM command the
+        # device model accepts (``--oracle`` / ``REPRO_ORACLE=1``).
+        self.oracles = []
+        if oracle is None:
+            oracle = os.environ.get("REPRO_ORACLE", "0") not in ("", "0")
+        if oracle:
+            from repro.dram.oracle import attach_oracles
+
+            attach_oracles(self, strict=True)
 
     # ------------------------------------------------------------------
     # CPU-facing interface
@@ -123,7 +135,13 @@ class MemorySystem:
         return sum(s.pending_accesses() for s in self.schedulers)
 
     def finalize(self) -> SimStats:
-        """Fold channel counters into the stats bundle and return it."""
+        """Fold channel counters into the stats bundle and return it.
+
+        Also runs the attached protocol oracles' end-of-run refresh
+        audit — in strict mode a missed refresh deadline raises here.
+        """
+        for oracle in self.oracles:
+            oracle.finish(self.cycle)
         stats = self.stats
         stats.cycles = self.cycle
         # Bus utilisation is a per-channel fraction; average the

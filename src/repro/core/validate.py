@@ -35,6 +35,8 @@ class HazardMonitor:
         # address -> (is_read, arrival, id) of the last transfer.
         self._last: Dict[int, Tuple[bool, int, int]] = {}
         self._pending: Dict[int, list] = {}
+        # scheduler -> the issue_for we wrapped, for detach().
+        self._originals: Dict[int, Tuple[object, object]] = {}
         self._install()
 
     def _install(self) -> None:
@@ -47,7 +49,20 @@ class HazardMonitor:
                     self._check(access)
                 return kind
 
+            self._originals[id(scheduler)] = (scheduler, original)
             scheduler.issue_for = wrapped
+
+    def detach(self) -> None:
+        """Restore each scheduler's unwrapped ``issue_for``; idempotent.
+
+        The monitor is the only component that wraps ``issue_for`` (the
+        tracer and the protocol oracle observe the channel's command
+        events instead), so detaching never strands another observer's
+        wrapper.
+        """
+        for scheduler, original in self._originals.values():
+            scheduler.issue_for = original
+        self._originals.clear()
 
     # ------------------------------------------------------------------
 

@@ -23,7 +23,7 @@ Public surface:
   classification used throughout the paper's evaluation.
 """
 
-from repro.dram.commands import Command, CommandType
+from repro.dram.commands import Command, CommandType, TracedCommand
 from repro.dram.timing import (
     DDR2_800,
     DDR_266,
@@ -34,7 +34,8 @@ from repro.dram.bank import Bank, BankState
 from repro.dram.rank import Rank
 from repro.dram.channel import Channel, RowState
 from repro.dram.refresh import RefreshController
-from repro.dram.tracer import ChannelTracer, TracedCommand
+from repro.dram.tracer import ChannelTracer, load_trace, save_trace
+from repro.dram.oracle import ProtocolOracle, attach_oracles, verify_trace
 
 __all__ = [
     "Bank",
@@ -46,9 +47,14 @@ __all__ = [
     "DDR2_800",
     "DDR_266",
     "FIG1_DEVICE",
+    "ProtocolOracle",
     "Rank",
     "RefreshController",
     "RowState",
     "TracedCommand",
     "TimingParams",
+    "attach_oracles",
+    "load_trace",
+    "save_trace",
+    "verify_trace",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 from typing import List, Optional
 
-from repro.dram.commands import Command, CommandType
+from repro.dram.commands import Command, CommandType, TracedCommand
 from repro.dram.rank import Rank
 from repro.dram.timing import TimingParams
 from repro.errors import ProtocolError
@@ -54,6 +54,34 @@ class Channel:
         # Utilisation counters (Figure 9b).
         self.cmd_bus_cycles = 0
         self.data_bus_cycles = 0
+        # Command-event listeners (tracer, protocol oracle).  Kept as
+        # a plain list so observers stack and unstack in any order.
+        self._listeners: List = []
+
+    # ------------------------------------------------------------------
+    # Command-event observers
+    # ------------------------------------------------------------------
+
+    def add_command_listener(self, listener) -> None:
+        """Register ``listener(traced_command)`` on every issued command.
+
+        Listeners are independent of each other: adding or removing one
+        never disturbs the others, unlike method wrapping.  With no
+        listeners registered the issue paths pay a single truthiness
+        check.
+        """
+        self._listeners.append(listener)
+
+    def remove_command_listener(self, listener) -> None:
+        """Unregister a listener; silently ignores unknown ones."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _emit(self, event: TracedCommand) -> None:
+        for listener in list(self._listeners):
+            listener(event)
 
     # ------------------------------------------------------------------
     # Topology helpers
@@ -150,8 +178,7 @@ class Channel:
             self.issue_precharge(cycle, cmd.rank, cmd.bank)
             return None
         if cmd.kind is CommandType.REFRESH:
-            self._claim_cmd_bus(cycle)
-            return self.ranks[cmd.rank].refresh(cycle)
+            return self.issue_refresh(cycle, cmd.rank)
         is_read = cmd.kind is CommandType.READ
         return self.issue_column(
             cycle, cmd.rank, cmd.bank, cmd.row, is_read
@@ -189,10 +216,14 @@ class Channel:
     def issue_activate(self, cycle: int, rank: int, bank: int, row: int) -> None:
         self._claim_cmd_bus(cycle)
         self.ranks[rank].activate(cycle, bank, row)
+        if self._listeners:
+            self._emit(TracedCommand(cycle, "ACT", rank, bank, row, None))
 
     def issue_precharge(self, cycle: int, rank: int, bank: int) -> None:
         self._claim_cmd_bus(cycle)
         self.ranks[rank].precharge(cycle, bank)
+        if self._listeners:
+            self._emit(TracedCommand(cycle, "PRE", rank, bank, None, None))
 
     def issue_column(
         self,
@@ -202,6 +233,7 @@ class Channel:
         row: int,
         is_read: bool,
         auto_precharge: bool = False,
+        column: Optional[int] = None,
     ) -> int:
         """Issue READ/WRITE; returns the last-data-beat cycle."""
         self._claim_cmd_bus(cycle)
@@ -212,7 +244,30 @@ class Channel:
         self._last_data_rank = rank
         self._last_data_is_read = is_read
         self.data_bus_cycles += self.timing.data_cycles
+        if self._listeners:
+            latency = self.timing.tCL if is_read else self.timing.tCWL
+            self._emit(
+                TracedCommand(
+                    cycle,
+                    "RD" if is_read else "WR",
+                    rank,
+                    bank,
+                    row,
+                    data_end,
+                    column=column,
+                    auto_precharge=auto_precharge,
+                    data_start=cycle + latency,
+                )
+            )
         return data_end
+
+    def issue_refresh(self, cycle: int, rank: int) -> int:
+        """Issue REFRESH to a whole rank; returns its completion cycle."""
+        self._claim_cmd_bus(cycle)
+        done = self.ranks[rank].refresh(cycle)
+        if self._listeners:
+            self._emit(TracedCommand(cycle, "REF", rank, 0, None, done))
+        return done
 
     def _claim_cmd_bus(self, cycle: int) -> None:
         if cycle <= self._last_cmd_cycle:

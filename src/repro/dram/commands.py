@@ -54,4 +54,46 @@ class Command:
         return f"{self.kind.name} {loc}"
 
 
-__all__ = ["Command", "CommandType"]
+@dataclass(frozen=True)
+class TracedCommand:
+    """One SDRAM transaction as observed on the command bus.
+
+    This is the unit of the channel's command-event stream: the
+    :class:`~repro.dram.channel.Channel` publishes one per issued
+    transaction to its registered listeners (the
+    :class:`~repro.dram.tracer.ChannelTracer` recorder and the
+    :class:`~repro.dram.oracle.ProtocolOracle` conformance checker).
+
+    ``kind`` is one of ``ACT`` / ``PRE`` / ``RD`` / ``WR`` / ``REF``.
+    Column accesses carry their ``column``, ``auto_precharge`` flag and
+    data-bus window (``data_start`` inclusive to ``data_end``
+    exclusive, in memory cycles); ``REF`` carries the cycle the rank
+    becomes usable again in ``data_end``.
+    """
+
+    cycle: int
+    kind: str            # ACT / PRE / RD / WR / REF
+    rank: int
+    bank: int
+    row: Optional[int]
+    data_end: Optional[int]
+    column: Optional[int] = None
+    auto_precharge: bool = False
+    data_start: Optional[int] = None
+
+    def __str__(self) -> str:
+        location = f"r{self.rank}b{self.bank}"
+        if self.kind == "ACT":
+            return f"{self.cycle:4d} ACT {location} row={self.row}"
+        if self.kind == "PRE":
+            return f"{self.cycle:4d} PRE {location}"
+        if self.kind == "REF":
+            return f"{self.cycle:4d} REF r{self.rank} done={self.data_end}"
+        suffix = " AP" if self.auto_precharge else ""
+        return (
+            f"{self.cycle:4d} {self.kind}  {location} row={self.row} "
+            f"col={self.column} data_end={self.data_end}{suffix}"
+        )
+
+
+__all__ = ["Command", "CommandType", "TracedCommand"]

@@ -35,6 +35,12 @@ class Rank:
         self._activate_times: Deque[int] = deque(maxlen=4)
         self.refresh_count = 0
         self.refresh_busy_until = 0
+        #: Set by the refresh controller while a REFRESH is due: new
+        #: activates are blocked so in-flight rows drain and the rank
+        #: reaches all-banks-idle — without this, a steady access
+        #: stream can re-open banks forever and starve refresh past
+        #: its deadline (found by the protocol oracle).
+        self.refresh_pending = False
 
     # ------------------------------------------------------------------
     # Legality
@@ -42,6 +48,8 @@ class Rank:
 
     def can_activate(self, cycle: int, bank: int) -> bool:
         """True when bank ``bank`` may activate, counting rank limits."""
+        if self.refresh_pending:
+            return False
         if cycle < self.ready_activate:
             return False
         if (

@@ -53,10 +53,15 @@ class RefreshController:
             return False
         channel = self.channel
         rank = channel.ranks[rank_index]
+        # Block new activates to the rank until its refresh issues, so
+        # a steady access stream cannot re-open banks forever and
+        # starve the refresh past its tREFI deadline.
+        rank.refresh_pending = True
         if rank.all_banks_idle():
             refresh = Command(CommandType.REFRESH, rank_index, 0)
             if channel.can_issue(refresh, cycle):
                 channel.issue(refresh, cycle)
+                rank.refresh_pending = False
                 assert channel.timing.tREFI is not None
                 self._due[rank_index] += channel.timing.tREFI
                 return True

@@ -1,99 +1,69 @@
-"""Command-level channel tracing.
+"""Command-level channel tracing and trace-file persistence.
 
-:class:`ChannelTracer` hooks a :class:`~repro.dram.channel.Channel`'s
-issue paths and records every SDRAM transaction with its cycle — the
-machine-readable equivalent of the paper's Figure 1 timing diagrams.
-It is used by the Figure 1 experiment's rendering, by tests that
-assert on exact command schedules, and as a debugging aid::
+:class:`ChannelTracer` subscribes to a :class:`~repro.dram.channel.
+Channel`'s command-event stream and records every SDRAM transaction
+with its cycle — the machine-readable equivalent of the paper's
+Figure 1 timing diagrams.  It is used by the Figure 1 experiment's
+rendering, by tests that assert on exact command schedules, by the
+``repro-experiments record-trace`` subcommand and as a debugging aid::
 
     tracer = ChannelTracer(system.channels[0])
     ...run...
     print(tracer.render())
 
-Tracing costs one extra function call per command; detach with
-:meth:`ChannelTracer.detach` to restore the original methods.
+Tracers attach via :meth:`~repro.dram.channel.Channel.
+add_command_listener`, so any number of observers (tracers, the
+:class:`~repro.dram.oracle.ProtocolOracle`, the hazard monitor) stack
+on one channel and attach/detach in any order without disturbing each
+other.  Tracing costs one listener call per command; :meth:`detach`
+stops recording and :meth:`attach` resumes it.
+
+Recorded schedules round-trip through JSON-lines trace files
+(:func:`save_trace` / :func:`load_trace`) so a run can be re-verified
+offline with ``repro-experiments verify-trace``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Sequence
 
-from repro.dram.channel import Channel
-
-
-@dataclass(frozen=True)
-class TracedCommand:
-    """One SDRAM transaction as observed on the command bus."""
-
-    cycle: int
-    kind: str            # ACT / PRE / RD / WR
-    rank: int
-    bank: int
-    row: Optional[int]
-    data_end: Optional[int]
-
-    def __str__(self) -> str:
-        location = f"r{self.rank}b{self.bank}"
-        if self.kind == "ACT":
-            return f"{self.cycle:4d} ACT {location} row={self.row}"
-        if self.kind == "PRE":
-            return f"{self.cycle:4d} PRE {location}"
-        return (
-            f"{self.cycle:4d} {self.kind}  {location} row={self.row} "
-            f"data_end={self.data_end}"
-        )
+from repro.dram.commands import TracedCommand
+from repro.dram.timing import TimingParams
+from repro.errors import TraceError
 
 
 class ChannelTracer:
     """Records every command a channel issues."""
 
-    def __init__(self, channel: Channel) -> None:
+    def __init__(self, channel) -> None:
         self.channel = channel
         self.commands: List[TracedCommand] = []
-        self._orig_activate = channel.issue_activate
-        self._orig_precharge = channel.issue_precharge
-        self._orig_column = channel.issue_column
-        channel.issue_activate = self._activate
-        channel.issue_precharge = self._precharge
-        channel.issue_column = self._column
+        self._attached = False
+        self.attach()
 
     # ------------------------------------------------------------------
-    # Wrapped issue paths
-    # ------------------------------------------------------------------
 
-    def _activate(self, cycle, rank, bank, row):
-        result = self._orig_activate(cycle, rank, bank, row)
-        self.commands.append(
-            TracedCommand(cycle, "ACT", rank, bank, row, None)
-        )
-        return result
+    def _record(self, command: TracedCommand) -> None:
+        self.commands.append(command)
 
-    def _precharge(self, cycle, rank, bank):
-        result = self._orig_precharge(cycle, rank, bank)
-        self.commands.append(
-            TracedCommand(cycle, "PRE", rank, bank, None, None)
-        )
-        return result
-
-    def _column(self, cycle, rank, bank, row, is_read, auto_precharge=False):
-        data_end = self._orig_column(
-            cycle, rank, bank, row, is_read, auto_precharge
-        )
-        self.commands.append(
-            TracedCommand(
-                cycle, "RD" if is_read else "WR", rank, bank, row, data_end
-            )
-        )
-        return data_end
-
-    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """(Re-)subscribe to the channel's command events; idempotent."""
+        if not self._attached:
+            self.channel.add_command_listener(self._record)
+            self._attached = True
 
     def detach(self) -> None:
-        """Restore the channel's unwrapped issue methods."""
-        self.channel.issue_activate = self._orig_activate
-        self.channel.issue_precharge = self._orig_precharge
-        self.channel.issue_column = self._orig_column
+        """Stop recording; the already-captured commands remain."""
+        if self._attached:
+            self.channel.remove_command_listener(self._record)
+            self._attached = False
+
+    @property
+    def attached(self) -> bool:
+        """Whether the tracer is currently subscribed to its channel."""
+        return self._attached
 
     def render(self) -> str:
         """The schedule as one line per command (Figure 1 style)."""
@@ -102,11 +72,81 @@ class ChannelTracer:
     @property
     def last_data_end(self) -> int:
         """Completion cycle of the schedule's final data transfer."""
-        ends = [c.data_end for c in self.commands if c.data_end is not None]
+        ends = [
+            c.data_end
+            for c in self.commands
+            if c.data_end is not None and c.kind != "REF"
+        ]
         return max(ends) if ends else 0
 
     def __len__(self) -> int:
         return len(self.commands)
 
 
-__all__ = ["ChannelTracer", "TracedCommand"]
+@dataclass(frozen=True)
+class TraceFile:
+    """A saved command trace: the device geometry plus the schedule."""
+
+    timing: TimingParams
+    ranks: int
+    banks: int
+    commands: List[TracedCommand]
+
+
+def save_trace(
+    path: str,
+    commands: Sequence[TracedCommand],
+    timing: TimingParams,
+    ranks: int,
+    banks: int,
+) -> None:
+    """Write a command schedule as a JSON-lines trace file.
+
+    The first line is a header carrying the full timing parameter set
+    and channel geometry, so :func:`load_trace` reconstructs enough
+    context for the protocol oracle to re-verify the schedule offline.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        header = {
+            "type": "header",
+            "timing": asdict(timing),
+            "ranks": ranks,
+            "banks": banks,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for command in commands:
+            handle.write(json.dumps(asdict(command)) + "\n")
+
+
+def load_trace(path: str) -> TraceFile:
+    """Read a trace file written by :func:`save_trace`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise TraceError(f"{path}: empty trace file")
+    try:
+        header = json.loads(lines[0])
+        if header.get("type") != "header":
+            raise TraceError(f"{path}: missing trace header line")
+        timing = TimingParams(**header["timing"])
+        commands = [
+            TracedCommand(**json.loads(line)) for line in lines[1:]
+        ]
+    except (KeyError, TypeError, ValueError) as error:
+        raise TraceError(f"{path}: malformed trace file: {error}") from None
+    return TraceFile(timing, header["ranks"], header["banks"], commands)
+
+
+def trace_system(system) -> List[ChannelTracer]:
+    """Attach one :class:`ChannelTracer` per channel of a system."""
+    return [ChannelTracer(channel) for channel in system.channels]
+
+
+__all__ = [
+    "ChannelTracer",
+    "TraceFile",
+    "TracedCommand",
+    "load_trace",
+    "save_trace",
+    "trace_system",
+]

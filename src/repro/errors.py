@@ -30,6 +30,17 @@ class SchedulerError(ReproError):
     """An access-reordering mechanism reached an inconsistent state."""
 
 
+class OracleViolationError(SchedulerError):
+    """The independent protocol oracle rejected an SDRAM command.
+
+    Raised by :class:`repro.dram.oracle.ProtocolOracle` in strict mode
+    when a traced command violates a DDR2 timing or state-machine
+    constraint that the primary device model failed to catch — i.e.
+    the two implementations of the protocol disagree.  The message
+    carries the violated rule and an excerpt of the recent schedule.
+    """
+
+
 class PoolError(ReproError):
     """The shared access pool was used incorrectly (overflow/underflow)."""
 

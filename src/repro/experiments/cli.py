@@ -9,6 +9,9 @@ Examples::
     repro-experiments report --jobs 8
     repro-experiments cache info
     repro-experiments cache clear
+    repro-experiments run fig7 --oracle        # live protocol oracle
+    repro-experiments record-trace swim.trace --mechanism Burst_TH
+    repro-experiments verify-trace swim.trace  # offline re-check
     REPRO_SCALE=0.5 repro-experiments run fig12   # quicker sweep
 
 Matrix cells are parallelised across ``--jobs`` (or ``REPRO_JOBS``)
@@ -58,6 +61,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "--no-progress", action="store_true",
             help="suppress the live cells-done progress line",
         )
+        command.add_argument(
+            "--oracle", action="store_true",
+            help=(
+                "attach the independent DDR2 protocol-conformance "
+                "oracle to every simulation (same as REPRO_ORACLE=1); "
+                "any command-timing violation aborts the run"
+            ),
+        )
     cache = sub.add_parser(
         "cache", help="manage the persistent result cache (.repro-cache/)"
     )
@@ -66,6 +77,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "info", help="entry count, size and code-version breakdown"
     )
     cache_sub.add_parser("clear", help="delete every cached result")
+    record = sub.add_parser(
+        "record-trace",
+        help="run one benchmark and save its SDRAM command trace",
+    )
+    record.add_argument("path", help="output trace file (JSON lines)")
+    record.add_argument(
+        "--mechanism", default="Burst_TH",
+        help="access reordering mechanism (default Burst_TH)",
+    )
+    record.add_argument(
+        "--benchmark", default="swim",
+        help="SPEC CPU2000 profile to drive (default swim)",
+    )
+    record.add_argument(
+        "--accesses", type=int, default=1500,
+        help="accesses to simulate (default 1500)",
+    )
+    record.add_argument("--seed", type=int, default=1)
+    verify = sub.add_parser(
+        "verify-trace",
+        help=(
+            "replay a saved command trace through the independent "
+            "protocol oracle"
+        ),
+    )
+    verify.add_argument("path", help="trace file written by record-trace")
     return parser
 
 
@@ -80,6 +117,8 @@ def _apply_knobs(args: argparse.Namespace) -> None:
         os.environ["REPRO_JOBS"] = str(args.jobs)
     if getattr(args, "no_progress", False):
         os.environ["REPRO_PROGRESS"] = "0"
+    if getattr(args, "oracle", False):
+        os.environ["REPRO_ORACLE"] = "1"
 
 
 def _cache_main(args: argparse.Namespace) -> int:
@@ -99,6 +138,60 @@ def _cache_main(args: argparse.Namespace) -> int:
         print("per benchmark:")
         for bench, count in info["by_benchmark"].items():
             print(f"  {bench:12s} {count}")
+    return 0
+
+
+def _record_trace_main(args: argparse.Namespace) -> int:
+    """Run one closed-loop benchmark and save the channel-0 trace."""
+    from repro.controller.system import MemorySystem
+    from repro.cpu.core import OoOCore
+    from repro.dram.tracer import ChannelTracer, save_trace
+    from repro.sim.config import baseline_config
+    from repro.workloads.spec2000 import make_benchmark_trace
+
+    # A single channel so the whole command stream lands in one file.
+    config = baseline_config(channels=1)
+    system = MemorySystem(config, args.mechanism, oracle=True)
+    tracer = ChannelTracer(system.channels[0])
+    trace = make_benchmark_trace(args.benchmark, args.accesses, args.seed)
+    OoOCore(system, trace).run()
+    save_trace(
+        args.path,
+        tracer.commands,
+        config.timing,
+        ranks=config.ranks,
+        banks=config.banks,
+    )
+    checked = sum(o.commands_checked for o in system.oracles)
+    print(
+        f"recorded {len(tracer)} commands "
+        f"({args.benchmark} x {args.mechanism}, {args.accesses} accesses) "
+        f"to {args.path}; oracle verified {checked} live"
+    )
+    return 0
+
+
+def _verify_trace_main(args: argparse.Namespace) -> int:
+    """Replay a saved trace through the offline protocol oracle."""
+    from repro.dram.oracle import verify_trace
+    from repro.dram.tracer import load_trace
+
+    trace = load_trace(args.path)
+    violations = verify_trace(args.path)
+    if violations:
+        for violation in violations:
+            print(str(violation), file=sys.stderr)
+        print(
+            f"{args.path}: {len(violations)} protocol violation(s) in "
+            f"{len(trace.commands)} commands",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{args.path}: verified {len(trace.commands)} commands on "
+        f"{trace.timing.name} ({trace.ranks} ranks x {trace.banks} banks), "
+        f"0 violations"
+    )
     return 0
 
 
@@ -124,6 +217,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "cache":
         return _cache_main(args)
+    if args.command == "record-trace":
+        return _record_trace_main(args)
+    if args.command == "verify-trace":
+        return _verify_trace_main(args)
     _apply_knobs(args)
     if args.command == "report":
         from repro.experiments.report import write_report

@@ -87,4 +87,29 @@ def run_requests(
     return OpenLoopDriver(system, requests).run(max_cycles)
 
 
-__all__ = ["OpenLoopDriver", "Request", "run_requests"]
+def run_requests_verified(
+    system: MemorySystem,
+    requests: Iterable[Request],
+    max_cycles: int = 10_000_000,
+    strict: bool = True,
+) -> Tuple[int, List["object"]]:
+    """Drive ``requests`` with the protocol oracle watching every command.
+
+    Attaches one independent :class:`~repro.dram.oracle.ProtocolOracle`
+    per channel before running; in strict mode any protocol violation
+    raises mid-run with a schedule excerpt, otherwise the violations
+    accumulate on the returned oracles.  Returns ``(cycles, oracles)``.
+    """
+    from repro.dram.oracle import attach_oracles
+
+    oracles = attach_oracles(system, strict=strict)
+    cycles = OpenLoopDriver(system, requests).run(max_cycles)
+    return cycles, oracles
+
+
+__all__ = [
+    "OpenLoopDriver",
+    "Request",
+    "run_requests",
+    "run_requests_verified",
+]

@@ -5,6 +5,18 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import settings
+
+# Property-based example budgets.  The default ("dev") profile keeps
+# local runs quick; CI selects the deterministic 200-example profile
+# with ``pytest --hypothesis-profile=ci`` (the ISSUE's differential
+# coverage floor).  Tests that pin ``max_examples`` explicitly keep
+# their own value regardless of profile.
+settings.register_profile("ci", max_examples=200, deadline=None,
+                          derandomize=True)
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.register_profile("deep", max_examples=1000, deadline=None)
+settings.load_profile("dev")
 
 from repro.controller.access import AccessType
 from repro.mapping.base import DecodedAddress

@@ -1,19 +1,34 @@
 """Golden regression tests.
 
-Exact cycle counts for small fixed-seed runs of every mechanism.  Any
-behavioural change to the schedulers, the device model, the CPU model
-or the workload generators moves these numbers; the failure message
-tells a developer precisely which mechanism drifted.  (Unlike the
-shape assertions in benchmarks/, these values are *expected* to change
-when the model is intentionally improved — update them consciously.)
+Exact cycle counts for small fixed-seed runs of every mechanism, plus
+exact command-by-command SDRAM schedules for the paper's Figure 1
+scenario (checked into ``tests/goldens/``).  Any behavioural change to
+the schedulers, the device model, the CPU model or the workload
+generators moves these; the failure message tells a developer
+precisely which mechanism drifted.  (Unlike the shape assertions in
+benchmarks/, these values are *expected* to change when the model is
+intentionally improved — update them consciously, with
+``REPRO_REGEN_GOLDENS=1`` for the trace files.)
 """
+
+import os
+from pathlib import Path
 
 import pytest
 
+from repro.controller.access import AccessType
 from repro.controller.system import MemorySystem
 from repro.cpu.core import OoOCore
+from repro.dram.oracle import verify_trace
+from repro.dram.timing import FIG1_DEVICE
+from repro.dram.tracer import ChannelTracer, load_trace, save_trace
+from repro.experiments.fig1 import EXAMPLE_ACCESSES
+from repro.mapping.base import DecodedAddress
 from repro.sim.config import baseline_config
+from repro.sim.engine import OpenLoopDriver
 from repro.workloads.spec2000 import make_benchmark_trace
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
 
 #: (benchmark, mechanism) -> mem_cycles for 1500 accesses, seed 1.
 GOLDEN_CYCLES = {}
@@ -70,3 +85,61 @@ def test_print_goldens(measured, capsys):
         print(f"{bench:6s} {mech:10s} {cycles}")
     out = capsys.readouterr().out
     assert "Burst_TH" in out
+
+
+# ----------------------------------------------------------------------
+# Figure 1 golden command traces
+# ----------------------------------------------------------------------
+
+
+def _fig1_schedule(mechanism):
+    """The exact SDRAM command schedule of the Figure 1 scenario."""
+    config = baseline_config(
+        timing=FIG1_DEVICE, channels=1, ranks=1, banks=2, rows=16
+    )
+    system = MemorySystem(config, mechanism)
+    tracer = ChannelTracer(system.channels[0])
+    requests = [
+        (0, AccessType.READ,
+         system.mapping.encode(DecodedAddress(0, 0, bank, row, 0)))
+        for bank, row in EXAMPLE_ACCESSES
+    ]
+    OpenLoopDriver(system, requests).run()
+    return config, tracer.commands
+
+
+@pytest.mark.parametrize("mechanism", ("BkInOrder", "RowHit", "Burst"))
+def test_fig1_golden_command_trace(mechanism):
+    """Cycle-by-cycle equality against the checked-in schedule.
+
+    Regenerate intentionally changed schedules with::
+
+        REPRO_REGEN_GOLDENS=1 pytest tests/test_goldens.py
+    """
+    config, commands = _fig1_schedule(mechanism)
+    path = GOLDEN_DIR / f"fig1_{mechanism}.trace"
+    if os.environ.get("REPRO_REGEN_GOLDENS") == "1":
+        save_trace(
+            str(path), commands, config.timing,
+            ranks=config.ranks, banks=config.banks,
+        )
+    golden = load_trace(str(path))
+    assert golden.timing == config.timing
+    assert list(commands) == list(golden.commands), (
+        f"{mechanism}: schedule drifted from {path.name}; run with "
+        f"REPRO_REGEN_GOLDENS=1 if the change is intentional"
+    )
+    # The stored schedule itself must be protocol conformant.
+    assert verify_trace(str(path)) == []
+
+
+def test_fig1_golden_burst_beats_inorder():
+    """The goldens preserve the paper's Figure 1 story: the burst
+    schedule's last data beat lands well before the in-order one's."""
+    in_order = load_trace(str(GOLDEN_DIR / "fig1_BkInOrder.trace"))
+    burst = load_trace(str(GOLDEN_DIR / "fig1_Burst.trace"))
+
+    def last_beat(trace):
+        return max(c.data_end for c in trace.commands if c.data_end)
+
+    assert last_beat(burst) < last_beat(in_order)

@@ -25,10 +25,25 @@ from repro.sim.config import baseline_config
 from repro.sim.engine import OpenLoopDriver
 
 QUIET = replace(DDR2_800, tREFI=None, tRFC=0)
-CONFIG = baseline_config(
-    timing=QUIET, channels=1, ranks=2, banks=2, rows=8,
-    pool_size=32, write_queue_size=8, threshold=6,
-)
+#: Auto refresh every 150 cycles — short enough that random workloads
+#: always interleave with REFRESH commands and the precharges that
+#: prepare them, which is where refresh/scheduler interaction bugs
+#: (e.g. the refresh-starvation fix in repro.dram.refresh) hide.
+FAST_REFRESH = replace(DDR2_800, tREFI=150, tRFC=20)
+
+
+def _make_config(timing):
+    return baseline_config(
+        timing=timing, channels=1, ranks=2, banks=2, rows=8,
+        pool_size=32, write_queue_size=8, threshold=6,
+    )
+
+
+CONFIGS = {
+    "quiet": _make_config(QUIET),
+    "refresh": _make_config(FAST_REFRESH),
+}
+CONFIG = CONFIGS["quiet"]
 
 MECHS = (
     "BkInOrder",
@@ -68,10 +83,14 @@ def _build_requests(system, raw):
     return requests
 
 
-@given(raw=request_strategy, mech=st.sampled_from(MECHS))
+@given(
+    raw=request_strategy,
+    mech=st.sampled_from(MECHS),
+    config_name=st.sampled_from(tuple(CONFIGS)),
+)
 @settings(max_examples=120, deadline=None)
-def test_contract(raw, mech):
-    system = MemorySystem(CONFIG, mech)
+def test_contract(raw, mech, config_name):
+    system = MemorySystem(CONFIGS[config_name], mech)
     requests = _build_requests(system, raw)
     driver = OpenLoopDriver(system, list(requests))
     driver.run(max_cycles=200_000)
@@ -102,11 +121,15 @@ def test_contract(raw, mech):
             assert read.latency >= floor
 
 
-@given(raw=request_strategy, mech=st.sampled_from(MECHS))
+@given(
+    raw=request_strategy,
+    mech=st.sampled_from(MECHS),
+    config_name=st.sampled_from(tuple(CONFIGS)),
+)
 @settings(max_examples=60, deadline=None)
-def test_same_address_ordering(raw, mech):
+def test_same_address_ordering(raw, mech, config_name):
     """WAR and WAW orderings on the data bus (§3.4)."""
-    system = MemorySystem(CONFIG, mech)
+    system = MemorySystem(CONFIGS[config_name], mech)
     requests = _build_requests(system, raw)
     accesses = []
     for arrival, op, address in requests:

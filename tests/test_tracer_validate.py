@@ -36,14 +36,85 @@ def test_tracer_records_full_schedule(small_config):
     assert "ACT" in text and "RD" in text
 
 
-def test_tracer_detach_restores_channel(small_config):
+def test_tracer_detach_stops_recording_and_reattach_resumes(small_config):
     system = MemorySystem(small_config, "Burst")
     channel = system.channels[0]
-    original = channel.issue_column
     tracer = ChannelTracer(channel)
-    assert channel.issue_column != original
+    OpenLoopDriver(
+        system, [(0, AccessType.READ, _addr(system, row=1))]
+    ).run()
+    recorded = len(tracer)
+    assert recorded > 0 and tracer.attached
     tracer.detach()
-    assert channel.issue_column == original
+    assert not tracer.attached
+    OpenLoopDriver(
+        system, [(0, AccessType.READ, _addr(system, row=2))]
+    ).run()
+    assert len(tracer) == recorded  # nothing recorded while detached
+    tracer.attach()
+    OpenLoopDriver(
+        system, [(0, AccessType.READ, _addr(system, row=3))]
+    ).run()
+    assert len(tracer) > recorded
+    tracer.detach()
+    tracer.detach()  # idempotent
+
+
+def test_observers_stack_and_unstack_in_any_order(small_config):
+    """Tracers, the oracle and the hazard monitor may be attached and
+    detached in any interleaving without disturbing each other."""
+    from repro.dram.oracle import attach_oracles
+
+    system = MemorySystem(small_config, "Burst_TH")
+    channel = system.channels[0]
+    first = ChannelTracer(channel)
+    monitor = attach_hazard_monitor(system)
+    [oracle] = attach_oracles(system)
+    second = ChannelTracer(channel)
+
+    OpenLoopDriver(
+        system,
+        [
+            (0, AccessType.READ, _addr(system, row=1)),
+            (0, AccessType.WRITE, _addr(system, row=2)),
+        ],
+    ).run()
+    assert len(first) == len(second) > 0
+    assert oracle.commands_checked == len(first)
+    assert monitor.checked_transfers == 2
+
+    # Detach in an order unrelated to attachment order.
+    first.detach()
+    monitor.detach()
+    OpenLoopDriver(
+        system, [(0, AccessType.READ, _addr(system, row=3))]
+    ).run()
+    # The survivors kept observing; the detached ones went quiet.
+    assert len(second) > len(first)
+    assert oracle.commands_checked == len(second)
+    assert monitor.checked_transfers == 2
+    second.detach()
+    channel.remove_command_listener(oracle.observe)
+    OpenLoopDriver(
+        system, [(0, AccessType.READ, _addr(system, row=4))]
+    ).run()
+    assert oracle.commands_checked == len(second)
+
+
+def test_hazard_monitor_detach_restores_issue_for(small_config):
+    system = MemorySystem(small_config, "Burst")
+    originals = [s.issue_for for s in system.schedulers]
+    monitor = attach_hazard_monitor(system)
+    assert all(
+        s.issue_for != orig
+        for s, orig in zip(system.schedulers, originals)
+    )
+    monitor.detach()
+    assert all(
+        s.issue_for == orig
+        for s, orig in zip(system.schedulers, originals)
+    )
+    monitor.detach()  # idempotent
 
 
 def test_traced_command_str():
