@@ -176,6 +176,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         width = max(len(k) for k in summary)
         for key, value in summary.items():
             print(f"{key.ljust(width)}  {value}")
+    # With REPRO_PROFILE=1, attribute the run's wall time (stderr so
+    # stdout stays machine-parseable).
+    from repro.sim import profile
+
+    profile.print_summary()
     return 0
 
 

@@ -34,6 +34,7 @@ from repro.sim.config import (
     PREDICTIVE,
     SystemConfig,
 )
+from repro.sim.profile import NEVER
 from repro.sim.stats import SimStats
 
 #: Transaction kinds a scheduler decides between for an ongoing access.
@@ -69,6 +70,28 @@ class Scheduler(abc.ABC):
         # Pending-address indexes for RAW forwarding and WAR blocking.
         self._writes_by_addr: Dict[int, List[MemoryAccess]] = {}
         self._reads_by_addr: Dict[int, int] = {}
+        # Schedule-pass gate (next-event engine).  A no-issue pass over
+        # *frozen* scheduler-visible state is a proven no-op until
+        # ``_gate_until``.  Frozen means: no command on this channel
+        # (``_gate_cmds`` stamps ``channel.cmd_bus_cycles``), no write
+        # entered or retired the shared pool anywhere (``_gate_pool``
+        # stamps ``pool.write_version``), and none of this scheduler's
+        # own events fired — enqueues and read completions clear
+        # ``_gate_cmds`` directly.  ``MemorySystem.tick`` arms and
+        # checks the gate only on the fast path; with
+        # ``REPRO_FASTFWD=0`` everything here stays disarmed.
+        self._gate_until = -1
+        self._gate_cmds = -1
+        self._gate_pool = -1
+        #: Set by ``MemorySystem.tick`` before a schedule pass whose
+        #: predecessor already ran over the same frozen state: the
+        #: mechanism should min-track, over its blocked candidates,
+        #: the earliest cycle one could issue and leave it in
+        #: ``_pass_wake``.  Mechanisms that do not implement hint
+        #: tracking simply ignore both fields and the gate arming
+        #: falls back to a :meth:`next_wakeup` call.
+        self._want_hint = False
+        self._pass_wake = -1
 
     # ------------------------------------------------------------------
     # Enqueue path (paper Figure 4 for burst scheduling; the write-queue
@@ -91,10 +114,12 @@ class Scheduler(abc.ABC):
                 self._reads_by_addr.get(access.address, 0) + 1
             )
             self._enqueue_read(access, cycle)
+            self._gate_cmds = -1  # new material: gate + freeze broken
             return EnqueueStatus.ACCEPTED
         self.pool.add(access)
         self._writes_by_addr.setdefault(access.address, []).append(access)
         self._enqueue_write(access, cycle)
+        self._gate_cmds = -1
         return EnqueueStatus.ACCEPTED
 
     # ------------------------------------------------------------------
@@ -116,6 +141,62 @@ class Scheduler(abc.ABC):
     @abc.abstractmethod
     def pending_accesses(self) -> int:
         """Accesses still queued (drain condition for simulations)."""
+
+    # ------------------------------------------------------------------
+    # Next-event engine hook
+    # ------------------------------------------------------------------
+
+    def next_wakeup(self, cycle: int) -> int:
+        """Earliest cycle this scheduler's observable state can change.
+
+        Called by the next-event engine only after a *quiet* cycle (no
+        command issued, no completion delivered, no enqueue accepted
+        anywhere), when every queue and device register is frozen; the
+        engine then leaps straight to the minimum wakeup across all
+        components.  Returning ``cycle`` itself means "I might act on
+        the very next executed cycle" and suppresses any skip.
+
+        The conservative default keeps every mechanism correct without
+        a per-mechanism analysis: with work queued the scheduler is
+        assumed ready to act next cycle; otherwise only an in-flight
+        read's data return can change its state.  Mechanisms whose
+        selection state provably reaches a fixpoint on a quiet cycle
+        override this with exact per-access wakeups (see DESIGN.md §9).
+        """
+        if self.pending_accesses() > 0:
+            return cycle
+        if self._completions:
+            return self._completions[0][0]
+        return NEVER
+
+    def earliest_issue_cycle(self, access: MemoryAccess, cycle: int) -> int:
+        """First cycle :meth:`can_issue_access` can turn true for
+        ``access``, assuming no command issues in between.
+
+        The mirror of :meth:`can_issue_access`: every timing gate is a
+        monotone threshold on the cycle number, so with device state
+        frozen the earliest legal cycle is exact.  ``NEVER`` is
+        returned when only an *event* can unblock the transaction — a
+        WAR-blocked write column (cleared by the older read's
+        completion) or an activate fenced off by a pending refresh
+        (cleared when the refresh engine issues).
+        """
+        kind = self.next_command_kind(access)
+        channel = self.channel
+        if kind is COLUMN:
+            if access.is_write and self._reads_by_addr.get(access.address):
+                return NEVER
+            return max(
+                cycle,
+                channel.next_column_at(
+                    access.rank, access.bank, access.row, access.is_read
+                ),
+            )
+        if kind is PRECHARGE:
+            return max(
+                cycle, channel.next_precharge_at(access.rank, access.bank)
+            )
+        return max(cycle, channel.next_activate_at(access.rank, access.bank))
 
     # ------------------------------------------------------------------
     # Shared transaction helpers
@@ -254,6 +335,8 @@ class Scheduler(abc.ABC):
                 self._finish_read_bookkeeping(access)
                 self._on_read_complete(access)
                 done.append(access)
+        if done:
+            self._gate_cmds = -1  # WAR/selection state may have changed
         return done
 
     def _on_read_complete(self, access: MemoryAccess) -> None:

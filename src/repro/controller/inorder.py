@@ -15,6 +15,7 @@ from typing import Deque, Dict, List, Tuple
 
 from repro.controller.access import MemoryAccess
 from repro.controller.base import COLUMN, Scheduler
+from repro.sim.profile import NEVER
 
 BankKey = Tuple[int, int]
 
@@ -45,15 +46,44 @@ class BkInOrderScheduler(Scheduler):
     def pending_accesses(self) -> int:
         return self._pending
 
+    def next_wakeup(self, cycle: int) -> int:
+        """Exact wakeup: earliest any head-of-queue can issue.
+
+        Safe because :meth:`schedule` mutates nothing on a cycle where
+        no transaction issues — the candidate set is exactly the queue
+        heads, and each head's earliest legal cycle is computable from
+        frozen device state.  A WAR-blocked write head (``NEVER``) is
+        unblocked by its older read's data return, which sits in this
+        scheduler's completion heap.
+        """
+        wake = self._completions[0][0] if self._completions else NEVER
+        if not self._pending:
+            return wake
+        for key in self._bank_keys:
+            queue = self._queues[key]
+            if not queue:
+                continue
+            candidate = self.earliest_issue_cycle(queue[0], cycle)
+            if candidate < wake:
+                wake = candidate
+        return wake
+
     def schedule(self, cycle: int) -> None:
         """Issue the first unblocked head-of-queue transaction.
 
         The scan starts at the round-robin pointer so every bank gets
         an equal share of command slots; the pointer advances past a
         bank when its current access's data transfer is scheduled.
+
+        In fast mode (``_want_hint``) each blocked head is judged by
+        its earliest legal cycle — the exact mirror of
+        ``can_issue_access`` — and a no-issue scan leaves their min in
+        ``_pass_wake`` to arm the engine's no-op schedule gate.
         """
         keys = self._bank_keys
         n = len(keys)
+        hint = self._want_hint
+        wake = NEVER
         for offset in range(n):
             index = (self._rr + offset) % n
             queue = self._queues[keys[index]]
@@ -62,7 +92,13 @@ class BkInOrderScheduler(Scheduler):
             head = queue[0]
             # Strict order: even a WAR-blocked write head simply waits
             # (its older same-address read is ahead of it anyway).
-            if not self.can_issue_access(head, cycle):
+            if hint:
+                t = self.earliest_issue_cycle(head, cycle)
+                if t > cycle:
+                    if t < wake:
+                        wake = t
+                    continue
+            elif not self.can_issue_access(head, cycle):
                 continue
             kind = self.issue_for(head, cycle)
             if kind is COLUMN:
@@ -70,6 +106,7 @@ class BkInOrderScheduler(Scheduler):
                 self._pending -= 1
                 self._rr = (index + 1) % n
             return
+        self._pass_wake = wake if hint else -1
 
 
 __all__ = ["BkInOrderScheduler"]

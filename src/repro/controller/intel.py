@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.controller.access import MemoryAccess
 from repro.controller.base import COLUMN, Scheduler
+from repro.sim.profile import NEVER
 
 BankKey = Tuple[int, int]
 
@@ -155,6 +156,29 @@ class IntelScheduler(Scheduler):
                     key
                 )
             self._ongoing[key] = selected
+
+    def next_wakeup(self, cycle: int) -> int:
+        """Exact wakeup: earliest any bank's ongoing access can issue.
+
+        Safe because :meth:`_update_ongoing` is at a fixpoint after a
+        quiet pass: drain-mode hysteresis recomputes identically from
+        the frozen pool occupancy, a preemption cannot recur (the slot
+        was refilled with a read), and refills are pure functions of
+        frozen queue and bank state.  A bank left empty is waiting on
+        an event — a read arriving, the shared write-queue head
+        draining elsewhere, or a WAR-clearing completion from this
+        scheduler's own heap.
+        """
+        wake = self._completions[0][0] if self._completions else NEVER
+        if not self._pending:
+            return wake
+        for access in self._ongoing.values():
+            if access is None:
+                continue
+            candidate = self.earliest_issue_cycle(access, cycle)
+            if candidate < wake:
+                wake = candidate
+        return wake
 
     # ------------------------------------------------------------------
     # Transaction-level issue: started accesses first, then oldest

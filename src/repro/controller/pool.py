@@ -30,6 +30,14 @@ class AccessPool:
         self.write_capacity = write_capacity
         self.read_count = 0
         self.write_count = 0
+        #: Bumped on every *write* occupancy change.  The only shared
+        #: pool state schedulers read is the write side (the Burst_TH
+        #: threshold, write-queue saturation, Intel's watermarks), so
+        #: the next-event engine stamps its scheduler gates with this
+        #: version: unchanged means no write entered or retired
+        #: anywhere.  Read-side changes only matter to the owning
+        #: scheduler, which invalidates its gate directly.
+        self.write_version = 0
 
     @property
     def count(self) -> int:
@@ -59,6 +67,7 @@ class AccessPool:
             )
         if access.is_write:
             self.write_count += 1
+            self.write_version += 1
         else:
             self.read_count += 1
 
@@ -67,6 +76,7 @@ class AccessPool:
             if self.write_count <= 0:
                 raise PoolError("write pool underflow")
             self.write_count -= 1
+            self.write_version += 1
         else:
             if self.read_count <= 0:
                 raise PoolError("read pool underflow")

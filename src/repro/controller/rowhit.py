@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.controller.access import MemoryAccess
 from repro.controller.base import COLUMN, Scheduler
+from repro.sim.profile import NEVER
 
 BankKey = Tuple[int, int]
 
@@ -72,6 +73,28 @@ class RowHitScheduler(Scheduler):
             if open_row is not None and access.row == open_row:
                 return access
         return fallback
+
+    def next_wakeup(self, cycle: int) -> int:
+        """Exact wakeup: earliest any bank's ongoing access can issue.
+
+        Safe because a quiet :meth:`schedule` pass reaches a fixpoint:
+        every bank with selectable material holds an ongoing access
+        (:meth:`_select` is pure and sticky — it fills each empty slot
+        on the full scan a quiet cycle performs), and a bank left
+        without one has only WAR-blocked writes queued, unblocked by a
+        read completion sitting in this scheduler's completion heap.
+        """
+        wake = self._completions[0][0] if self._completions else NEVER
+        if not self._pending:
+            return wake
+        for key in self._bank_keys:
+            access = self._ongoing[key]
+            if access is None:
+                continue
+            candidate = self.earliest_issue_cycle(access, cycle)
+            if candidate < wake:
+                wake = candidate
+        return wake
 
     def schedule(self, cycle: int) -> None:
         keys = self._bank_keys

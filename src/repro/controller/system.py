@@ -25,7 +25,9 @@ from repro.controller.registry import make_scheduler_factory
 from repro.dram.channel import Channel
 from repro.dram.refresh import RefreshController
 from repro.mapping.schemes import make_mapping
+from repro.sim import profile
 from repro.sim.config import SystemConfig
+from repro.sim.profile import NEVER
 from repro.sim.stats import SimStats
 
 
@@ -60,6 +62,30 @@ class MemorySystem:
             )
         self.mechanism_name = self.schedulers[0].name
         self.cycle = 0
+        #: Did the most recent tick issue a command or deliver data?
+        #: The next-event run loops only consider skipping after a
+        #: quiet (False) tick — see :meth:`next_event_cycle`.
+        self._tick_active = False
+        #: Cycle before which :meth:`tick` is a proven no-op (set after
+        #: a quiet tick, invalidated by :meth:`enqueue`); -1 = unknown.
+        #: Lets the memory side fast-forward even while the CPU model
+        #: keeps stepping through compute cycles the run loops cannot
+        #: leap over.
+        self._quiet_until = -1
+        #: Consecutive quiet ticks.  Computing the next-event cycle
+        #: costs about as much as one no-op tick, so an isolated quiet
+        #: cycle between two busy ones is cheaper to just step; only a
+        #: streak suggests a window long enough to pay for the lookout.
+        self._quiet_streak = 0
+        #: Quiet ticks required before computing the next-event cycle.
+        #: Adaptive: unproductive lookouts (short windows, typical of
+        #: the 1-3 dead cycles between commands in a burst) raise the
+        #: bar, a productive one drops it back — so dense phases pay
+        #: almost nothing and idle phases arm almost immediately.
+        self._arm_after = 2
+        self._fastfwd = profile.fastfwd_enabled()
+        #: REPRO_PROFILE observability (None when profiling is off).
+        self._profiler = profile.ensure_profiler()
         # Opt-in independent protocol conformance oracle: one shadow
         # verifier per channel, re-checking every SDRAM command the
         # device model accepts (``--oracle`` / ``REPRO_ORACLE=1``).
@@ -95,22 +121,76 @@ class MemorySystem:
         the pipeline-stall coupling of §5.1.
         """
         if not self.pool.can_accept(access):
+            # Pool-full rejection mutates nothing, so any established
+            # quiet-cycle fixpoint survives it.
             return EnqueueStatus.REJECTED_FULL
         access.arrival = cycle
+        self._quiet_until = -1
         return self.schedulers[access.channel].enqueue(access, cycle)
 
     def tick(self) -> List[MemoryAccess]:
-        """Advance one memory cycle; returns reads whose data returned."""
+        """Advance one memory cycle; returns reads whose data returned.
+
+        Fast path: after a quiet tick established a fixpoint (and no
+        enqueue has disturbed it), every tick before ``_quiet_until``
+        would find the same frozen state — no command legal, no
+        completion due, the schedulers' selection state idempotent —
+        so only the per-cycle statistics sampling remains, which
+        :meth:`skip_to` reproduces exactly.
+        """
         cycle = self.cycle
+        if cycle < self._quiet_until:
+            self.skip_to(cycle + 1)
+            self._tick_active = False
+            return []
+        if self._profiler is not None:
+            return self._tick_profiled()
         stats = self.stats
+        pool = self.pool
+        fast = self._fastfwd
         completed: List[MemoryAccess] = []
+        active = False
         for channel_index in range(len(self.channels)):
             scheduler = self.schedulers[channel_index]
-            if not self.refreshers[channel_index].tick(cycle):
-                scheduler.schedule(cycle)
+            channel = self.channels[channel_index]
+            refresher = self.refreshers[channel_index]
+            if fast and cycle < refresher.idle_until:
+                refreshed = False
+            else:
+                refreshed = refresher.tick(cycle)
+            if not refreshed:
+                # Frozen: nothing this scheduler can see changed since
+                # its stamps were recorded (no own-channel command, no
+                # shared write-side pool change; own enqueues and read
+                # completions clear _gate_cmds directly).
+                frozen = (
+                    scheduler._gate_cmds == channel.cmd_bus_cycles
+                    and scheduler._gate_pool == pool.write_version
+                )
+                if frozen and scheduler._gate_until > cycle:
+                    pass  # proven no-op schedule pass
+                else:
+                    scheduler._want_hint = fast
+                    scheduler.schedule(cycle)
+                    if fast and channel.last_command_cycle != cycle:
+                        # No-issue pass: stamp the state it saw and arm
+                        # the gate with the pass's own wake hint (or
+                        # one next_wakeup scan for mechanisms without
+                        # hints).  Until a stamp changes, re-running
+                        # schedule() before the wake cycle would see
+                        # the identical frozen state and issue nothing.
+                        wake = scheduler._pass_wake
+                        if wake <= cycle:
+                            wake = scheduler.next_wakeup(cycle)
+                        scheduler._gate_until = wake
+                        scheduler._gate_cmds = channel.cmd_bus_cycles
+                        scheduler._gate_pool = pool.write_version
+            if channel.last_command_cycle == cycle:
+                active = True
             done = scheduler.pop_completions(cycle)
             if done:
                 completed.extend(done)
+                active = True
         # Per-cycle sampling for the outstanding-access distributions
         # (Figures 8/11) and the saturation metrics (§5.1).
         stats.outstanding_reads.add(self.pool.read_count)
@@ -119,8 +199,168 @@ class MemorySystem:
             stats.write_queue_full_cycles += 1
         if self.pool.full:
             stats.pool_full_cycles += 1
+        self._tick_active = active
         self.cycle = cycle + 1
+        self._after_tick(active)
         return completed
+
+    def _after_tick(self, active: bool) -> None:
+        """Feed the dead-cycle fast path after each executed tick."""
+        if active or not self._fastfwd:
+            self._quiet_streak = 0
+            self._quiet_until = -1
+            return
+        # Quiet tick: let the (throttled) lookout decide whether the
+        # window is worth computing; it arms _quiet_until on success.
+        self.next_event_cycle(self.cycle)
+
+    def _tick_profiled(self) -> List[MemoryAccess]:
+        """:meth:`tick` with per-component wall-time attribution.
+
+        Must stay in lockstep with :meth:`tick` — the extra
+        ``perf_counter`` reads are the only difference.
+        """
+        from time import perf_counter
+
+        prof = self._profiler
+        cycle = self.cycle
+        stats = self.stats
+        pool = self.pool
+        fast = self._fastfwd
+        completed: List[MemoryAccess] = []
+        active = False
+        for channel_index in range(len(self.channels)):
+            scheduler = self.schedulers[channel_index]
+            channel = self.channels[channel_index]
+            refresher = self.refreshers[channel_index]
+            t0 = perf_counter()
+            if fast and cycle < refresher.idle_until:
+                refreshed = False
+            else:
+                refreshed = refresher.tick(cycle)
+            t1 = perf_counter()
+            prof.add_time("refresh", t1 - t0)
+            if not refreshed:
+                frozen = (
+                    scheduler._gate_cmds == channel.cmd_bus_cycles
+                    and scheduler._gate_pool == pool.write_version
+                )
+                if frozen and scheduler._gate_until > cycle:
+                    prof.gated_passes += 1
+                else:
+                    scheduler._want_hint = fast
+                    scheduler.schedule(cycle)
+                    if fast and channel.last_command_cycle != cycle:
+                        wake = scheduler._pass_wake
+                        if wake <= cycle:
+                            wake = scheduler.next_wakeup(cycle)
+                        scheduler._gate_until = wake
+                        scheduler._gate_cmds = channel.cmd_bus_cycles
+                        scheduler._gate_pool = pool.write_version
+                    t2 = perf_counter()
+                    prof.add_time("schedule", t2 - t1)
+                    t1 = t2
+            if channel.last_command_cycle == cycle:
+                active = True
+                prof.commands += 1
+            done = scheduler.pop_completions(cycle)
+            prof.add_time("completions", perf_counter() - t1)
+            if done:
+                completed.extend(done)
+                active = True
+                prof.completions += len(done)
+        t0 = perf_counter()
+        stats.outstanding_reads.add(self.pool.read_count)
+        stats.outstanding_writes.add(self.pool.write_count)
+        if self.pool.write_queue_full:
+            stats.write_queue_full_cycles += 1
+        if self.pool.full:
+            stats.pool_full_cycles += 1
+        prof.add_time("sampling", perf_counter() - t0)
+        prof.note_tick()
+        self._tick_active = active
+        self.cycle = cycle + 1
+        self._after_tick(active)
+        return completed
+
+    # ------------------------------------------------------------------
+    # Next-event time skipping
+    # ------------------------------------------------------------------
+
+    @property
+    def last_tick_active(self) -> bool:
+        """Did the most recent :meth:`tick` issue or complete anything?"""
+        return self._tick_active
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """Earliest cycle any memory-side component can change state.
+
+        Valid only immediately after a quiet tick (every queue, bank
+        register and bus frozen); the run loops advance straight to the
+        returned cycle via :meth:`skip_to`.  A value ``<= cycle`` means
+        "no skip": single-step as before.
+
+        The component scan costs about as much as one no-op tick, and
+        the dead windows between commands of a saturated channel are
+        often 1-3 cycles — not worth it.  So the lookout is throttled:
+        a quiet streak must build up before the scan runs, and the bar
+        adapts (short windows raise it, a real window resets it).  A
+        successful scan is memoised in ``_quiet_until``, which both
+        short-circuits repeat calls and drives the in-tick fast path.
+        """
+        if self._quiet_until > cycle:
+            return self._quiet_until
+        self._quiet_streak += 1
+        if self._quiet_streak < self._arm_after:
+            return cycle  # throttled: keep single-stepping
+        self._quiet_streak = 0
+        wake = NEVER
+        for refresher in self.refreshers:
+            candidate = refresher.next_wakeup(cycle)
+            if candidate < wake:
+                wake = candidate
+        for scheduler in self.schedulers:
+            candidate = scheduler.next_wakeup(cycle)
+            if candidate < wake:
+                wake = candidate
+        self._quiet_until = wake
+        if wake - cycle >= 3:
+            self._arm_after = 2
+        elif self._arm_after < 16:
+            self._arm_after += 2
+        return wake
+
+    def skip_to(self, target: int) -> None:
+        """Jump from the current cycle to ``target`` across dead cycles.
+
+        The caller guarantees (via :meth:`next_event_cycle` after a
+        quiet tick) that every skipped cycle would have been a no-op:
+        no command legal, no completion due, no enqueue accepted.  The
+        only per-cycle work such cycles perform is statistics sampling,
+        reproduced here with weighted samples so `SimStats` stays
+        byte-identical with the sequential loop.
+        """
+        k = target - self.cycle
+        if k <= 0:
+            return
+        stats = self.stats
+        stats.outstanding_reads.add(self.pool.read_count, k)
+        stats.outstanding_writes.add(self.pool.write_count, k)
+        if self.pool.write_queue_full:
+            stats.write_queue_full_cycles += k
+        if self.pool.full:
+            stats.pool_full_cycles += k
+        if self._profiler is not None:
+            self._profiler.note_skip(k)
+        self.cycle = target
+
+    def note_rejected_enqueues(self, start: int, cycles: int) -> None:
+        """Account for ``cycles`` skipped back-to-back enqueue retries.
+
+        The plain memory system rejects with no side effects, so there
+        is nothing to record; :class:`~repro.sim.fsb.FSBAdapter`
+        overrides this to reproduce its per-retry stall counter.
+        """
 
     # ------------------------------------------------------------------
     # Run-state inspection

@@ -61,22 +61,28 @@ class Burst:
 class BurstQueue:
     """The read queue of one bank: bursts in first-arrival order."""
 
-    __slots__ = ("bursts", "last_completed_size")
+    __slots__ = ("bursts", "last_completed_size", "_by_row")
 
     def __init__(self) -> None:
         self.bursts: List[Burst] = []
         #: Payload of the most recently completed burst, for the
         #: burst-size statistics.
         self.last_completed_size = 0
+        # row -> open burst for that row.  At most one burst per row
+        # can be open at a time (joins always target the existing one),
+        # so the Figure 4 line 5-8 search is a dict lookup instead of a
+        # scan over every queued burst.
+        self._by_row: dict = {}
 
     def add_read(self, access: MemoryAccess) -> Burst:
         """Figure 4 lines 5-8: join an existing burst or create one."""
-        for burst in self.bursts:
-            if burst.row == access.row:
-                burst.append(access)
-                return burst
+        burst = self._by_row.get(access.row)
+        if burst is not None:
+            burst.append(access)
+            return burst
         burst = Burst(access)
         self.bursts.append(burst)
+        self._by_row[access.row] = burst
         return burst
 
     @property
@@ -120,6 +126,7 @@ class BurstQueue:
         head.served += 1
         if not head.accesses:
             self.bursts.pop(0)
+            del self._by_row[head.row]
             self.last_completed_size = head.served
             return True
         return False

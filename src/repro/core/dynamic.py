@@ -24,8 +24,11 @@ its mix — while a 50%-write phase drops to 32.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.controller.access import MemoryAccess
 from repro.core.scheduler import BurstScheduler
+from repro.errors import SchedulerError
 
 
 class DynamicThresholdBurstScheduler(BurstScheduler):
@@ -40,8 +43,8 @@ class DynamicThresholdBurstScheduler(BurstScheduler):
         pool,
         stats,
         epoch_accesses: int = 512,
-        floor: int = 8,
-        ceiling: int = None,
+        floor: Optional[int] = None,
+        ceiling: Optional[int] = None,
     ) -> None:
         super().__init__(
             config,
@@ -52,9 +55,26 @@ class DynamicThresholdBurstScheduler(BurstScheduler):
             write_piggybacking=True,
         )
         self.epoch_accesses = max(epoch_accesses, 1)
-        self.floor = floor
         if ceiling is None:
-            ceiling = config.write_queue_size - 4
+            ceiling = max(config.write_queue_size - 4, 0)
+        if floor is None:
+            floor = min(8, ceiling)
+        # An inverted band would silently pin the threshold to the
+        # ceiling (min runs before max in the clamp), and a ceiling
+        # past the write queue capacity can never be reached by the
+        # occupancy test — both are configuration errors, not values
+        # to clamp into shape.
+        if not 0 <= floor <= ceiling:
+            raise SchedulerError(
+                f"dynamic threshold floor {floor} must lie in "
+                f"[0, ceiling {ceiling}]"
+            )
+        if ceiling > config.write_queue_size:
+            raise SchedulerError(
+                f"dynamic threshold ceiling {ceiling} exceeds the "
+                f"write queue size {config.write_queue_size}"
+            )
+        self.floor = floor
         self.ceiling = ceiling
         self._epoch_reads = 0
         self._epoch_writes = 0

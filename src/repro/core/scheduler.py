@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.controller.access import MemoryAccess
 from repro.controller.base import COLUMN, Scheduler
 from repro.core.burst import BurstQueue
+from repro.sim.profile import NEVER
 
 BankKey = Tuple[int, int]
 
@@ -79,6 +80,12 @@ class BurstScheduler(Scheduler):
             key: True for key in self._read_queues
         }
         self._bank_keys: List[BankKey] = list(self._read_queues)
+        # Banks with any queued or ongoing access.  schedule() iterates
+        # _bank_keys filtered by this set instead of rebuilding full
+        # candidate scans over every (mostly empty) bank each cycle;
+        # filtering against the fixed key order preserves the original
+        # scan order, which the oldest-first tie-breaks depend on.
+        self._active_keys = set()
         self._last_bank: Optional[BankKey] = None
         self._last_rank: Optional[int] = None
         self._pending = 0
@@ -151,12 +158,16 @@ class BurstScheduler(Scheduler):
     # Scheduler.enqueue before these hooks are reached.
 
     def _enqueue_read(self, access: MemoryAccess, cycle: int) -> None:
-        self._read_queues[access.bank_key()].add_read(access)
+        key = access.bank_key()
+        self._read_queues[key].add_read(access)
+        self._active_keys.add(key)
         self._pending += 1
         self._outstanding_reads += 1
 
     def _enqueue_write(self, access: MemoryAccess, cycle: int) -> None:
-        self._write_queues[access.bank_key()].append(access)
+        key = access.bank_key()
+        self._write_queues[key].append(access)
+        self._active_keys.add(key)
         self._pending += 1
 
     def pending_accesses(self) -> int:
@@ -200,10 +211,15 @@ class BurstScheduler(Scheduler):
             selected: Optional[MemoryAccess] = None
             if self.pool.write_queue_full:                 # line 2
                 selected = self._oldest_write(key)         # line 3
+            # Paper §4/§5.4 boundary: WP engages when the write queue
+            # occupancy is *at or above* the threshold, RP only below
+            # it — at exactly TH the queue is considered saturated
+            # enough that writes piggyback and reads stop preempting.
+            # (Pinned by a directed 51/52/53-of-64 boundary test.)
             if (
                 selected is None
                 and self.write_piggybacking                # line 4
-                and write_occupancy > self.threshold
+                and write_occupancy >= self.threshold
                 and self._end_of_burst[key]
             ):
                 selected = self._oldest_row_hit_write(key)  # line 5
@@ -268,32 +284,85 @@ class BurstScheduler(Scheduler):
             # further row-hit writes may keep piggybacking (§3.2).
             self._write_queues[key].remove(access)
             self._end_of_burst[key] = True
+        if not self._read_queues[key] and not self._write_queues[key]:
+            self._active_keys.discard(key)
+
+    def next_wakeup(self, cycle: int) -> int:
+        """Exact wakeup: the earliest any ongoing access can issue.
+
+        Safe because after a quiet schedule() pass the Figure 5
+        arbiter is at a fixpoint: every bank with issuable material
+        holds an ongoing access (line 8 always selects when reads are
+        queued), a bank left without one is waiting on an *event*
+        (last outstanding read completing, write queue filling), and
+        re-running the arbiter with frozen inputs selects nothing new
+        and never preempts (DESIGN.md §9).  Data returns of in-flight
+        reads are events of their own via the completion queue.
+        """
+        wake = self._completions[0][0] if self._completions else NEVER
+        if not self._pending:
+            return wake
+        ongoing = self._ongoing
+        for key in self._active_keys:
+            access = ongoing[key]
+            if access is None:
+                continue
+            candidate = self.earliest_issue_cycle(access, cycle)
+            if candidate < wake:
+                wake = candidate
+        return wake
 
     def schedule(self, cycle: int) -> None:
         if not self._pending:
+            self._pass_wake = NEVER
             return  # nothing queued or ongoing anywhere
+        active = self._active_keys
         for key in self._bank_keys:
-            self._arbitrate(key, cycle)
+            if key in active:
+                self._arbitrate(key, cycle)
         if not self.use_priority_table:
+            self._pass_wake = -1  # ablation path computes no hint
             self._schedule_naive(cycle)
             return
 
         # Gather each bank's ongoing access with its next transaction
-        # kind and unblocked status.
+        # kind and unblocked status.  When the engine asks for a hint
+        # (fast mode) each candidate is judged by its earliest legal
+        # cycle — the exact mirror of ``can_issue_access``
+        # (``earliest <= cycle`` iff issuable, property-tested) — so a
+        # blocked candidate's timestamp both decides it and feeds the
+        # min that arms the no-op schedule gate without a separate
+        # ``next_wakeup`` scan.  The sequential reference loop keeps
+        # the short-circuiting predicate.
         ongoing = self._ongoing
         unblocked: List[Tuple[BankKey, MemoryAccess, str]] = []
+        hint = self._want_hint
+        wake = NEVER
         for key in self._bank_keys:
+            if key not in active:
+                continue
             access = ongoing[key]
             if access is None:
                 continue
-            if self.can_issue_access(access, cycle):
+            if hint:
+                t = self.earliest_issue_cycle(access, cycle)
+                if t <= cycle:
+                    unblocked.append(
+                        (key, access, self.next_command_kind(access))
+                    )
+                elif t < wake:
+                    wake = t
+            elif self.can_issue_access(access, cycle):
                 unblocked.append((key, access, self.next_command_kind(access)))
         if not unblocked:
+            self._pass_wake = wake if hint else -1
             # Figure 6 lines 14-15: point the scheduler at the bank
             # holding the oldest ongoing access so its rank is favoured
             # next cycle.
             oldest = None
             for key in self._bank_keys:
+                if key not in active:
+                    continue
                 access = ongoing[key]
                 if access is not None and (
                     oldest is None or access.arrival < oldest[1].arrival

@@ -29,6 +29,7 @@ from typing import Deque, Iterable, List, Optional, Set, Union
 from repro.controller.access import AccessType, EnqueueStatus, MemoryAccess
 from repro.controller.system import MemorySystem
 from repro.errors import SchedulerError
+from repro.sim.profile import NEVER, fastfwd_enabled
 from repro.workloads.trace import TraceRecord
 
 
@@ -227,14 +228,91 @@ class OoOCore:
             and self.system.idle
         )
 
+    def _progress_marker(self) -> tuple:
+        """Everything the pipeline can change besides stall counters.
+
+        Two equal markers around a quiet memory tick mean the whole
+        core is frozen: nothing retired, fetched, staged or issued.
+        """
+        return (
+            self.instructions,
+            self.loads,
+            self.stores,
+            self._rob_occupancy,
+            self._inflight_loads,
+            len(self._done_loads),
+            self._staged is None,
+            self._pending_store is None,
+        )
+
+    def _account_skip(self, cycle: int, k: int) -> None:
+        """Replay ``k`` frozen stall cycles' worth of counters.
+
+        Mirrors what :meth:`step` does on a cycle where nothing can
+        progress: a blocked load at the ROB head charges
+        ``head_block_cycles``; a rejected store charges
+        ``store_stall_cycles`` and retries its enqueue every cycle; a
+        rejected load retries without a counter.  The retry attempts
+        are reported to the memory system so a front-side-bus wrapper
+        can reproduce its per-attempt stall statistic.
+        """
+        rob = self._rob
+        if rob and not isinstance(rob[0], int):
+            self.head_block_cycles += k
+        if self._pending_store is not None:
+            self.store_stall_cycles += k
+            self.system.note_rejected_enqueues(cycle, k)
+        elif (
+            self._staged is not None
+            and self._staged[0] == 0
+            and self._staged[1].op is AccessType.READ
+            and self._rob_occupancy < self.rob_size
+            and self._inflight_loads < self.lsq_size
+        ):
+            self.system.note_rejected_enqueues(cycle, k)
+
     def run(self, max_cycles: int = 50_000_000) -> CoreResult:
-        """Run to completion; returns the execution-time result."""
+        """Run to completion; returns the execution-time result.
+
+        Next-event loop (see :meth:`OpenLoopDriver.run <repro.sim.
+        engine.OpenLoopDriver.run>`): after a cycle where neither the
+        core nor the memory system made progress, leap to the earliest
+        cycle a memory-side event can unblock anything — every CPU
+        stall here is resolved by a memory event (data return, pool
+        slot freeing, bus freeing), never by core-internal timing.
+        """
+        fast = fastfwd_enabled()
+        system = self.system
+        # Progress markers are only captured once a quiet memory cycle
+        # has been seen: on busy cycles (the common case on saturated
+        # workloads) the capture would be discarded unused, and the
+        # first cycle of a quiet window is cheaper to just step.
+        check = False
         while not self.done:
-            if self.system.cycle > max_cycles:
+            if system.cycle > max_cycles:
                 raise SchedulerError(
                     f"CPU run exceeded {max_cycles} memory cycles"
                 )
+            before = self._progress_marker() if check else None
             self.step()
+            if not fast:
+                continue
+            if system.last_tick_active:
+                check = False
+                continue
+            if not check:
+                check = True
+                continue
+            if self._progress_marker() != before:
+                continue
+            cycle = system.cycle
+            wake = system.next_event_cycle(cycle)
+            if wake <= cycle or wake >= NEVER:
+                continue
+            if wake > max_cycles:
+                wake = max_cycles + 1
+            self._account_skip(cycle, wake - cycle)
+            system.skip_to(wake)
         self.system.finalize()
         mem_cycles = self.system.cycle
         ratio = self.system.config.cpu_cycles_per_mem_cycle

@@ -21,6 +21,7 @@ from repro.controller.access import AccessType, EnqueueStatus, MemoryAccess
 from repro.controller.system import MemorySystem
 from repro.cpu.core import CoreResult
 from repro.errors import SchedulerError
+from repro.sim.profile import NEVER, fastfwd_enabled
 from repro.workloads.trace import TraceRecord
 
 
@@ -122,13 +123,64 @@ class InOrderCore:
             and self.system.idle
         )
 
+    def _progress_marker(self) -> tuple:
+        """Everything :meth:`step` can change besides stall counters."""
+        return (
+            self.instructions,
+            self.loads,
+            self.stores,
+            self._blocked_on is None,
+            self._pending_store is None,
+            self._staged is None,
+            len(self._done_ids),
+        )
+
+    def _account_skip(self, cycle: int, k: int) -> None:
+        """Replay ``k`` frozen stall cycles' worth of counters.
+
+        The blocking core's stalls are mutually exclusive — a blocked
+        load suppresses the store retry, which suppresses the load
+        retry — matching the ``break`` ladder in :meth:`step`.
+        """
+        if self._blocked_on is not None:
+            self.head_block_cycles += k
+        elif self._pending_store is not None:
+            self.store_stall_cycles += k
+            self.system.note_rejected_enqueues(cycle, k)
+        elif self._staged is not None and self._staged[0] == 0:
+            self.system.note_rejected_enqueues(cycle, k)
+
     def run(self, max_cycles: int = 50_000_000) -> CoreResult:
+        fast = fastfwd_enabled()
+        system = self.system
+        # Markers are captured lazily — see OoOCore.run: busy cycles
+        # would discard the capture, so only quiet streaks pay for it.
+        check = False
         while not self.done:
-            if self.system.cycle > max_cycles:
+            if system.cycle > max_cycles:
                 raise SchedulerError(
                     f"in-order run exceeded {max_cycles} memory cycles"
                 )
+            before = self._progress_marker() if check else None
             self.step()
+            if not fast:
+                continue
+            if system.last_tick_active:
+                check = False
+                continue
+            if not check:
+                check = True
+                continue
+            if self._progress_marker() != before:
+                continue
+            cycle = system.cycle
+            wake = system.next_event_cycle(cycle)
+            if wake <= cycle or wake >= NEVER:
+                continue
+            if wake > max_cycles:
+                wake = max_cycles + 1
+            self._account_skip(cycle, wake - cycle)
+            system.skip_to(wake)
         self.system.finalize()
         mem_cycles = self.system.cycle
         ratio = self.system.config.cpu_cycles_per_mem_cycle

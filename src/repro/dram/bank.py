@@ -18,6 +18,7 @@ from typing import Optional
 
 from repro.dram.timing import TimingParams
 from repro.errors import ProtocolError
+from repro.timebase import NEVER
 
 
 class BankState(enum.Enum):
@@ -73,6 +74,28 @@ class Bank:
     def can_precharge(self, cycle: int) -> bool:
         """True when the open row may be closed this cycle (tRAS etc.)."""
         return self.state is BankState.ACTIVE and cycle >= self.ready_precharge
+
+    # ------------------------------------------------------------------
+    # Earliest-ready queries (next-event engine)
+    # ------------------------------------------------------------------
+    # Each mirrors the matching can_* check: it returns the first cycle
+    # at which that check can become true *given frozen bank state*, or
+    # NEVER when only a state change (a command) could enable it.  All
+    # timing gates are monotone thresholds, so the answer is exact.
+
+    def next_activate_ready(self) -> int:
+        """Earliest cycle :meth:`can_activate` can turn true."""
+        return self.ready_activate if self.state is BankState.IDLE else NEVER
+
+    def next_column_ready(self, row: int) -> int:
+        """Earliest cycle :meth:`can_column` for ``row`` can turn true."""
+        if self.state is BankState.ACTIVE and self.open_row == row:
+            return self.ready_column
+        return NEVER
+
+    def next_precharge_ready(self) -> int:
+        """Earliest cycle :meth:`can_precharge` can turn true."""
+        return self.ready_precharge if self.state is BankState.ACTIVE else NEVER
 
     # ------------------------------------------------------------------
     # Command application

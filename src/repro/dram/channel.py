@@ -25,6 +25,7 @@ from repro.dram.commands import Command, CommandType, TracedCommand
 from repro.dram.rank import Rank
 from repro.dram.timing import TimingParams
 from repro.errors import ProtocolError
+from repro.timebase import NEVER
 
 
 class RowState(enum.Enum):
@@ -188,6 +189,15 @@ class Channel:
         """True when no command has been driven at ``cycle`` yet."""
         return cycle > self._last_cmd_cycle
 
+    @property
+    def last_command_cycle(self) -> int:
+        """Cycle of the most recent command (-1 before the first).
+
+        The next-event engine reads this after a tick to tell command
+        cycles (events) from dead cycles that may be leapt over.
+        """
+        return self._last_cmd_cycle
+
     # ------------------------------------------------------------------
     # Fast paths used by the scheduler hot loops.  These avoid building
     # Command objects; semantics are identical to can_issue/issue.
@@ -212,6 +222,34 @@ class Channel:
         if not r.can_column(cycle, bank, row, is_read):
             return False
         return self.data_bus_free(cycle, rank, is_read)
+
+    # ------------------------------------------------------------------
+    # Earliest-ready queries (next-event engine).  Mirrors of the
+    # can_*_at fast paths: given frozen device state, the first cycle
+    # at which the matching check can become true — every constraint is
+    # a monotone threshold in the cycle number, so the value is exact.
+    # NEVER means only another command (an event) can unblock it.
+    # ------------------------------------------------------------------
+
+    def next_activate_at(self, rank: int, bank: int) -> int:
+        r = self.ranks[rank]
+        return max(r.refresh_busy_until, r.next_activate_ready(bank))
+
+    def next_precharge_at(self, rank: int, bank: int) -> int:
+        r = self.ranks[rank]
+        return max(r.refresh_busy_until, r.next_precharge_ready(bank))
+
+    def next_column_at(
+        self, rank: int, bank: int, row: int, is_read: bool
+    ) -> int:
+        r = self.ranks[rank]
+        ready = r.next_column_ready(bank, row, is_read)
+        if ready >= NEVER:
+            return NEVER
+        # data_bus_free: cycle + CAS latency >= busy_until + gap.
+        latency = self.timing.tCL if is_read else self.timing.tCWL
+        bus = self.data_busy_until + self._data_start_gap(rank, is_read)
+        return max(ready, r.refresh_busy_until, bus - latency)
 
     def issue_activate(self, cycle: int, rank: int, bank: int, row: int) -> None:
         self._claim_cmd_bus(cycle)

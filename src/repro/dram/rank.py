@@ -19,6 +19,7 @@ from typing import Deque, List, Optional
 from repro.dram.bank import Bank, BankState
 from repro.dram.timing import TimingParams
 from repro.errors import ProtocolError
+from repro.timebase import NEVER
 
 
 class Rank:
@@ -79,6 +80,46 @@ class Rank:
             return False
         ready = max((b.ready_activate for b in self.banks), default=0)
         return cycle >= max(ready, self.ready_activate)
+
+    # ------------------------------------------------------------------
+    # Earliest-ready queries (next-event engine)
+    # ------------------------------------------------------------------
+    # Mirrors of the can_* checks above: the first cycle each check can
+    # become true with rank and bank state frozen.  ``refresh_pending``
+    # clears only when the refresh engine issues (an event), so it maps
+    # to NEVER rather than a cycle.
+
+    def next_activate_ready(self, bank: int) -> int:
+        """Earliest cycle :meth:`can_activate` can turn true."""
+        if self.refresh_pending:
+            return NEVER
+        ready = max(self.ready_activate, self.banks[bank].next_activate_ready())
+        if self.timing.tFAW is not None and len(self._activate_times) == 4:
+            ready = max(ready, self._activate_times[0] + self.timing.tFAW)
+        return ready
+
+    def next_column_ready(self, bank: int, row: int, is_read: bool) -> int:
+        """Earliest cycle :meth:`can_column` can turn true."""
+        ready = self.banks[bank].next_column_ready(row)
+        if is_read:
+            ready = max(ready, self.ready_read)
+        return ready
+
+    def next_precharge_ready(self, bank: int) -> int:
+        """Earliest cycle :meth:`can_precharge` can turn true."""
+        return self.banks[bank].next_precharge_ready()
+
+    def next_refresh_ready(self) -> int:
+        """Earliest cycle :meth:`can_refresh` can turn true.
+
+        Only meaningful while every bank is idle; with a row open the
+        refresh engine must precharge first (see
+        :meth:`RefreshController.next_wakeup`).
+        """
+        if not self.all_banks_idle():
+            return NEVER
+        ready = max((b.ready_activate for b in self.banks), default=0)
+        return max(ready, self.ready_activate)
 
     # ------------------------------------------------------------------
     # Application

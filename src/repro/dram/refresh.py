@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from repro.dram.channel import Channel
 from repro.dram.commands import Command, CommandType
+from repro.timebase import NEVER
 
 
 class RefreshController:
@@ -32,6 +33,18 @@ class RefreshController:
         self._due: List[int] = [
             interval + r * step for r in range(len(channel.ranks))
         ]
+        #: Cycle the earliest rank becomes due.  Strictly before it,
+        #: :meth:`tick` is a proven no-op (``pending_rank`` is None and
+        #: nothing — not even ``refresh_pending`` — is touched), so the
+        #: next-event fast path skips the call entirely.  Once a rank
+        #: is due this stays in the past until its REFRESH issues, so
+        #: the precharge/issue ticks always run.
+        self._min_due = min(self._due) if self.enabled else NEVER
+
+    @property
+    def idle_until(self) -> int:
+        """Cycle before which :meth:`tick` provably does nothing."""
+        return self._min_due
 
     def pending_rank(self, cycle: int) -> Optional[int]:
         """The lowest-numbered rank with a refresh due, if any."""
@@ -41,6 +54,46 @@ class RefreshController:
             if cycle >= due:
                 return rank_index
         return None
+
+    def next_wakeup(self, cycle: int) -> int:
+        """Earliest cycle :meth:`tick` can act, with device state frozen.
+
+        Three self-timed situations (all other progress is triggered by
+        commands, which are events in their own right):
+
+        * a rank not yet due wakes when its refresh becomes due — that
+          cycle has the side effect of raising ``refresh_pending``,
+          which blocks activates, so it must not be skipped;
+        * a due rank with open banks wakes when the earliest open bank
+          becomes precharge-able;
+        * a due rank with all banks idle wakes when the REFRESH command
+          itself becomes legal (post-refresh/activate recovery).
+        """
+        if not self.enabled:
+            return NEVER
+        if cycle < self._min_due:
+            # No rank due yet: the next self-timed event is the
+            # earliest due cycle itself.
+            return self._min_due
+        wake = NEVER
+        for rank_index, due in enumerate(self._due):
+            if cycle < due:
+                wake = min(wake, due)
+                continue
+            rank = self.channel.ranks[rank_index]
+            if rank.all_banks_idle():
+                wake = min(wake, rank.next_refresh_ready())
+                continue
+            for bank in rank.banks:
+                if bank.open_row is not None:
+                    wake = min(
+                        wake,
+                        max(
+                            bank.next_precharge_ready(),
+                            rank.refresh_busy_until,
+                        ),
+                    )
+        return wake
 
     def tick(self, cycle: int) -> bool:
         """Give the refresh engine first claim on this command slot.
@@ -64,6 +117,7 @@ class RefreshController:
                 rank.refresh_pending = False
                 assert channel.timing.tREFI is not None
                 self._due[rank_index] += channel.timing.tREFI
+                self._min_due = min(self._due)
                 return True
             return False
         # Close open banks first; one precharge per cycle.

@@ -251,6 +251,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(EXPERIMENTS[name].main())
         print(f"[{name} took {time.time() - started:.1f}s]")
         print(_summary() + "\n")
+    # REPRO_PROFILE=1 summary covers this process's simulations only;
+    # use --jobs 1 for a whole-run account (workers profile their own
+    # share and their singletons die with them).
+    from repro.sim import profile
+
+    profile.print_summary()
     return 0
 
 

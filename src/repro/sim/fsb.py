@@ -45,6 +45,7 @@ class FSBAdapter:
         self._request_busy_until = 0
         self._response_busy_until = 0
         self._pending_responses: List[Tuple[int, int, MemoryAccess]] = []
+        self._delivered_last_tick = False
         self.request_stall_rejects = 0
         self.response_transfer_cycles = 0
 
@@ -109,7 +110,50 @@ class FSBAdapter:
         ):
             _, _, access = heapq.heappop(self._pending_responses)
             delivered.append(access)
+        self._delivered_last_tick = bool(delivered)
         return delivered
+
+    # ------------------------------------------------------------------
+    # Next-event time skipping (same protocol as MemorySystem)
+    # ------------------------------------------------------------------
+
+    @property
+    def last_tick_active(self) -> bool:
+        return self.system.last_tick_active or self._delivered_last_tick
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """Inner memory events plus the bus's own self-timed ones:
+        a buffered read fill coming due, or the request lane freeing
+        (which can turn a rejected enqueue into an accepted one)."""
+        wake = self.system.next_event_cycle(cycle)
+        if self._pending_responses:
+            due = self._pending_responses[0][0]
+            if due < wake:
+                wake = due
+        # The quiet step ran at ``cycle - 1``: a lane still busy then
+        # (busy > cycle - 1) may have been what rejected the enqueue,
+        # so its expiry — even when that is ``cycle`` itself — is a
+        # wakeup.  A lane already free during the quiet step cannot
+        # unblock anything by staying free.
+        busy = self._request_busy_until
+        if cycle <= busy < wake:
+            wake = busy
+        return wake
+
+    def skip_to(self, target: int) -> None:
+        self.system.skip_to(target)
+
+    def note_rejected_enqueues(self, start: int, cycles: int) -> None:
+        """Skipped-window accounting for the per-retry bus-busy stat.
+
+        The CPU would have retried its rejected enqueue on every one
+        of the ``cycles`` skipped cycles starting at ``start``; each
+        retry that lands while the request lane is still busy bumps
+        :attr:`request_stall_rejects` exactly as :meth:`enqueue` does.
+        """
+        overlap = min(start + cycles, self._request_busy_until) - start
+        if overlap > 0:
+            self.request_stall_rejects += overlap
 
     @property
     def idle(self) -> bool:

@@ -1,0 +1,17 @@
+"""Time constants shared by every simulator layer.
+
+Kept in a leaf module with no imports so the DRAM substrate, the
+controllers and the simulation drivers can all use :data:`NEVER`
+without creating package cycles (``repro.sim`` imports the DRAM layer
+for its statistics types, so the DRAM layer cannot import back).
+"""
+
+from __future__ import annotations
+
+#: Sentinel wakeup meaning "no self-timed state change ever": the
+#: component only reacts to events (commands, completions, enqueues),
+#: which themselves wake the engine.  Large enough that min() with any
+#: real cycle count ignores it, small enough to stay a machine int.
+NEVER = 1 << 62
+
+__all__ = ["NEVER"]

@@ -200,3 +200,87 @@ def test_all_accesses_complete_under_all_variants(small_config):
             + stats.forwarded_reads
             == 400
         ), mech
+
+
+# ----------------------------------------------------------------------
+# Threshold boundary (paper §4 / §5.4): the write queue occupancy test
+# is RP strictly *below* TH, WP at TH *or above*.  Pinned at 51/52/53
+# of the Table 3 64-entry write queue so an off-by-one in either
+# comparison fails a directed case, not just a statistics drift.
+# ----------------------------------------------------------------------
+
+
+def _fill_writes(system, count, bank=1, row=3, start_col=0):
+    """Queue ``count`` distinct writes to one bank of channel 0."""
+    for i in range(count):
+        access = system.make_access(
+            AccessType.WRITE,
+            _addr(system, rank=0, bank=bank, row=row, col=start_col + i),
+            1,
+        )
+        assert system.enqueue(access, 1) is not None
+    return system.pool.write_count
+
+
+def test_wp_engages_at_exactly_threshold_occupancy(config):
+    from repro.controller.access import EnqueueStatus
+
+    system = MemorySystem(config, "Burst_TH")
+    scheduler = system.schedulers[0]
+    assert scheduler.threshold == 52
+    assert config.write_queue_size == 64
+    # Park an outstanding read on another bank so Figure 5 line 6
+    # (drain writes once no reads remain) cannot mask the WP decision.
+    parked = system.make_access(
+        AccessType.READ, _addr(system, rank=1, bank=0, row=0), 0
+    )
+    assert system.enqueue(parked, 0) is EnqueueStatus.ACCEPTED
+    # Open the target row so a row-hit piggyback candidate exists.
+    system.channels[0].issue_activate(0, 0, 1, 3)
+    key = (0, 1)
+    assert _fill_writes(system, 51) == 51
+    scheduler._arbitrate(key, 2)
+    assert scheduler._ongoing[key] is None, (
+        "occupancy 51 < TH 52 must not piggyback writes"
+    )
+    assert _fill_writes(system, 1, start_col=51) == 52
+    scheduler._arbitrate(key, 3)
+    selected = scheduler._ongoing[key]
+    assert selected is not None and selected.is_write and selected.piggybacked
+    # Still engaged above the threshold (53).
+    scheduler._ongoing[key] = None
+    assert _fill_writes(system, 1, start_col=52) == 53
+    scheduler._arbitrate(key, 4)
+    selected = scheduler._ongoing[key]
+    assert selected is not None and selected.is_write
+
+
+def test_rp_preempts_only_strictly_below_threshold(config):
+    from repro.controller.access import EnqueueStatus
+
+    def build(occupancy):
+        system = MemorySystem(config, "Burst_TH")
+        scheduler = system.schedulers[0]
+        key = (0, 1)
+        assert _fill_writes(system, occupancy) == occupancy
+        # White box: make the oldest queued write the bank's ongoing
+        # access, as an earlier full-queue drain would have.
+        scheduler._ongoing[key] = scheduler._write_queues[key][0]
+        read = system.make_access(
+            AccessType.READ, _addr(system, rank=0, bank=1, row=5), 3
+        )
+        assert system.enqueue(read, 3) is EnqueueStatus.ACCEPTED
+        return system, scheduler, key
+
+    system, scheduler, key = build(51)
+    scheduler._arbitrate(key, 4)
+    assert scheduler._ongoing[key].is_read, "51 < TH 52: read preempts"
+    assert system.stats.preemptions == 1
+
+    system, scheduler, key = build(52)
+    ongoing = scheduler._ongoing[key]
+    scheduler._arbitrate(key, 4)
+    assert scheduler._ongoing[key] is ongoing, (
+        "occupancy 52 >= TH 52: the write keeps the bank"
+    )
+    assert system.stats.preemptions == 0

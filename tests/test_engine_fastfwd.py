@@ -1,0 +1,224 @@
+"""Equivalence of the next-event engine and the sequential loop.
+
+The fast-forward run loops (``REPRO_FASTFWD=1``, the default) leap
+over cycles they can prove are no-ops; ``REPRO_FASTFWD=0`` preserves
+the original strictly sequential loop.  The two must be *byte
+identical*: same ``SimStats`` snapshot, same SDRAM command trace
+cycle for cycle, same CPU result — on every mechanism, with the
+protocol oracle watching, under both quiet and aggressive refresh.
+
+These tests are the correctness bar of the next-event rewrite
+(DESIGN.md §9): any scheduling decision that could depend on a
+skipped cycle shows up here as a trace or histogram mismatch.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.access import AccessType
+from repro.controller.registry import extension_names, mechanism_names
+from repro.controller.system import MemorySystem
+from repro.cpu.core import OoOCore
+from repro.cpu.inorder import InOrderCore
+from repro.dram.timing import DDR2_800
+from repro.mapping.base import DecodedAddress
+from repro.sim import profile
+from repro.sim.config import baseline_config
+from repro.sim.engine import run_requests
+from repro.sim.fsb import FSBAdapter
+from repro.workloads.spec2000 import make_benchmark_trace
+
+ALL_MECHANISMS = list(mechanism_names()) + list(extension_names())
+
+QUIET = replace(DDR2_800, tREFI=None, tRFC=0)
+#: Aggressive refresh so skip windows constantly collide with the
+#: refresh engine's due times, precharge sweeps and recovery.
+FAST_REFRESH = replace(DDR2_800, tREFI=150, tRFC=20)
+
+
+@contextmanager
+def fastfwd(enabled: bool):
+    """Pin REPRO_FASTFWD for the duration of one simulation run."""
+    saved = os.environ.get("REPRO_FASTFWD")
+    os.environ["REPRO_FASTFWD"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if saved is None:
+            del os.environ["REPRO_FASTFWD"]
+        else:
+            os.environ["REPRO_FASTFWD"] = saved
+
+
+def _config(timing):
+    return baseline_config(
+        timing=timing,
+        channels=1,
+        ranks=2,
+        banks=2,
+        rows=8,
+        pool_size=32,
+        write_queue_size=8,
+        threshold=6,
+    )
+
+
+def _encode(config, workload):
+    donor = MemorySystem(config, "BkInOrder")
+    requests = []
+    for cycle, is_write, rank, bank, row, column in workload:
+        address = donor.mapping.encode(
+            DecodedAddress(0, rank, bank, row, column)
+        )
+        op = AccessType.WRITE if is_write else AccessType.READ
+        requests.append((cycle, op, address))
+    return requests
+
+
+def _run_open_loop(mechanism, config, requests, fast):
+    """One oracle-verified open-loop run; returns (stats, commands)."""
+    with fastfwd(fast):
+        system = MemorySystem(config, mechanism, oracle=True)
+        commands = []
+        for channel in system.channels:
+            channel.add_command_listener(
+                lambda event, log=commands: log.append(repr(event))
+            )
+        run_requests(system, list(requests))
+    return system.stats.to_dict(), commands
+
+
+@st.composite
+def workloads(draw):
+    """Bursty timestamped requests over a tiny address space.
+
+    Long arrival gaps (up to 400 cycles) force genuine idle windows
+    for the engine to leap over; dense stretches force the fall-back
+    to single stepping under scheduler contention.
+    """
+    count = draw(st.integers(min_value=4, max_value=40))
+    requests = []
+    cycle = 0
+    for _ in range(count):
+        cycle += draw(
+            st.one_of(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=50, max_value=400),
+            )
+        )
+        requests.append(
+            (
+                cycle,
+                draw(st.booleans()),
+                draw(st.integers(0, 1)),
+                draw(st.integers(0, 1)),
+                draw(st.integers(0, 3)),
+                draw(st.integers(0, 3)),
+            )
+        )
+    return requests
+
+
+@settings(deadline=None)
+@given(workload=workloads(), refresh=st.booleans())
+def test_fastfwd_open_loop_identical_across_mechanisms(workload, refresh):
+    """Fast and sequential runs agree on stats and command traces."""
+    config = _config(FAST_REFRESH if refresh else QUIET)
+    requests = _encode(config, workload)
+    for mechanism in ALL_MECHANISMS:
+        slow = _run_open_loop(mechanism, config, requests, fast=False)
+        fast = _run_open_loop(mechanism, config, requests, fast=True)
+        assert fast == slow, f"{mechanism} diverged under fast-forward"
+
+
+def _run_closed_loop(mechanism, core_cls, with_fsb, fast, accesses=900):
+    with fastfwd(fast):
+        config = baseline_config()
+        system = MemorySystem(config, mechanism, oracle=True)
+        commands = []
+        for channel in system.channels:
+            channel.add_command_listener(
+                lambda event, log=commands: log.append(repr(event))
+            )
+        trace = make_benchmark_trace("swim", accesses=accesses, seed=5)
+        target = FSBAdapter(system) if with_fsb else system
+        result = core_cls(target, trace).run()
+        rejects = target.request_stall_rejects if with_fsb else 0
+    return result.to_dict(), system.stats.to_dict(), commands, rejects
+
+
+@pytest.mark.parametrize("mechanism", ["Burst_TH", "BkInOrder", "Intel"])
+@pytest.mark.parametrize("core_cls", [OoOCore, InOrderCore])
+@pytest.mark.parametrize("with_fsb", [False, True])
+def test_fastfwd_closed_loop_identical(mechanism, core_cls, with_fsb):
+    """CPU-coupled runs (optionally bus-limited) are byte-identical."""
+    accesses = 900 if core_cls is OoOCore else 250
+    slow = _run_closed_loop(mechanism, core_cls, with_fsb, False, accesses)
+    fast = _run_closed_loop(mechanism, core_cls, with_fsb, True, accesses)
+    assert fast == slow
+
+
+def test_fastfwd_actually_skips_cycles(monkeypatch):
+    """The engine leaps over idle windows instead of ticking them.
+
+    A workload with 1000-cycle arrival gaps is mostly dead time; the
+    profiler must report the bulk of the simulated cycles as skipped,
+    or the tentpole is silently running the old sequential loop.
+    """
+    monkeypatch.setenv("REPRO_PROFILE", "1")
+    monkeypatch.setenv("REPRO_FASTFWD", "1")
+    profile.reset()
+    try:
+        config = _config(QUIET)
+        donor = MemorySystem(config, "BkInOrder")
+        requests = []
+        for i in range(20):
+            address = donor.mapping.encode(
+                DecodedAddress(0, 0, 0, i % 8, 0)
+            )
+            requests.append((i * 1000, AccessType.READ, address))
+        system = MemorySystem(config, "Burst_TH")
+        run_requests(system, requests)
+        summary = profile.active().summary()
+        assert summary["skipped_cycles"] > 0.9 * summary["events"]
+        assert summary["leaps"] >= 19
+        assert summary["events"] == system.cycle
+    finally:
+        profile.reset()
+
+
+def test_skip_to_weights_per_cycle_samples():
+    """skip_to reproduces the skipped cycles' statistics sampling."""
+    config = _config(QUIET)
+    system = MemorySystem(config, "Burst_TH")
+    system.tick()
+    before = sum(system.stats.outstanding_reads.counts.values())
+    system.skip_to(system.cycle + 41)
+    after = sum(system.stats.outstanding_reads.counts.values())
+    assert after - before == 41
+    assert system.cycle == 42
+
+
+def test_sequential_mode_never_skips(monkeypatch):
+    """REPRO_FASTFWD=0 preserves the one-tick-per-cycle A/B loop."""
+    monkeypatch.setenv("REPRO_PROFILE", "1")
+    monkeypatch.setenv("REPRO_FASTFWD", "0")
+    profile.reset()
+    try:
+        config = _config(QUIET)
+        donor = MemorySystem(config, "BkInOrder")
+        address = donor.mapping.encode(DecodedAddress(0, 0, 0, 0, 0))
+        system = MemorySystem(config, "Burst_TH")
+        run_requests(system, [(500, AccessType.READ, address)])
+        summary = profile.active().summary()
+        assert summary["skipped_cycles"] == 0
+        assert summary["ticked_cycles"] == system.cycle
+    finally:
+        profile.reset()

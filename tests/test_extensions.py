@@ -148,3 +148,42 @@ def test_naive_issue_completes_but_slower_on_bursty_load(config):
     ).run()
     assert naive.loads == with_table.loads
     assert naive.mem_cycles >= with_table.mem_cycles * 0.98
+
+
+def test_dynamic_threshold_band_validation(small_config, config):
+    """Bad floor/ceiling bands raise instead of being clamped.
+
+    Before this guard an inverted band silently pinned the threshold
+    (min ran before max in the clamp) and a ceiling beyond the write
+    queue capacity was unreachable by the occupancy test.
+    """
+    import pytest
+
+    from repro.errors import SchedulerError
+
+    def build(cfg, **kwargs):
+        system = MemorySystem(cfg, "BkInOrder")  # donor for channel/pool
+        return DynamicThresholdBurstScheduler(
+            cfg,
+            system.channels[0],
+            system.pool,
+            system.stats,
+            **kwargs,
+        )
+
+    # Defaults adapt to the queue size and stay valid on any config.
+    scheduler = build(small_config)
+    assert 0 <= scheduler.floor <= scheduler.ceiling
+    assert scheduler.ceiling <= small_config.write_queue_size
+    scheduler = build(config, floor=10, ceiling=60)
+    assert (scheduler.floor, scheduler.ceiling) == (10, 60)
+
+    with pytest.raises(SchedulerError):
+        build(config, floor=40, ceiling=20)        # inverted band
+    with pytest.raises(SchedulerError):
+        build(config, floor=-1, ceiling=20)        # negative floor
+    with pytest.raises(SchedulerError):
+        build(config, ceiling=config.write_queue_size + 1)  # > capacity
+    # A degenerate but consistent band is allowed.
+    scheduler = build(config, floor=0, ceiling=0)
+    assert (scheduler.floor, scheduler.ceiling) == (0, 0)

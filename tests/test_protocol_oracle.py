@@ -235,16 +235,26 @@ class _TRPSkippingScheduler(BkInOrderScheduler):
     Zeroing the bank and rank activate gates before the legality check
     makes the device model accept activates immediately after a
     precharge — exactly the class of model bug the independent oracle
-    exists to catch.
+    exists to catch.  Both legality hooks are broken the same way so
+    the bug survives either engine mode (the sequential loop asks
+    ``can_issue_access``, the next-event fast path its mirror
+    ``earliest_issue_cycle``).
     """
 
     name = "BrokenNoTRP"
 
-    def can_issue_access(self, access, cycle):
+    def _forget_trp(self, access):
         bank = self.channel.ranks[access.rank].banks[access.bank]
         bank.ready_activate = 0
         self.channel.ranks[access.rank].ready_activate = 0
+
+    def can_issue_access(self, access, cycle):
+        self._forget_trp(access)
         return super().can_issue_access(access, cycle)
+
+    def earliest_issue_cycle(self, access, cycle):
+        self._forget_trp(access)
+        return super().earliest_issue_cycle(access, cycle)
 
 
 def test_oracle_catches_broken_scheduler(small_config):

@@ -232,3 +232,30 @@ def test_report_contains_headline_keys():
         "write_queue_saturation",
     ):
         assert key in report
+
+
+def test_fraction_at_least_zero_total_guard_after_empty_merges():
+    """Merging empties must leave the zero-total guard intact.
+
+    Regression for the report path: a sweep with zero completed
+    accesses merges only empty histograms, and the saturation /
+    outstanding-access fractions must come out 0.0, not raise
+    ZeroDivisionError.
+    """
+    merged = Histogram()
+    merged.merge(Histogram())
+    merged.merge(Histogram())
+    assert merged.total == 0
+    assert merged.fraction_at_least(0) == 0.0
+    assert merged.fraction_at_least(17) == 0.0
+    assert merged.fraction(0) == 0.0
+
+
+def test_report_on_merged_empty_stats_is_all_finite():
+    """SimStats.report() tolerates a merge of empty runs end to end."""
+    merged = SimStats()
+    merged.merge(SimStats())
+    report = merged.report()
+    for key, value in report.items():
+        assert value == value, f"{key} is NaN"
+        assert value == 0.0, key
