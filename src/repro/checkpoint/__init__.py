@@ -1,0 +1,30 @@
+"""Versioned simulator snapshots with byte-identical resume.
+
+The checkpoint subsystem serializes a mid-run driver — open-loop or
+closed-loop CPU — together with every stateful component under it
+(pool, banks, ranks, channels, refreshers, schedulers, oracles, FSB)
+into a JSON-lines snapshot file, and restores it such that resuming
+produces :class:`~repro.sim.stats.SimStats` byte-identical to the
+uninterrupted run.  See DESIGN.md §10 for the format and the
+``state_dict``/``load_state_dict`` protocol.
+"""
+
+from repro.checkpoint.format import (
+    SCHEMA_VERSION,
+    LoadContext,
+    SaveContext,
+    load_checkpoint,
+    read_header,
+    save_checkpoint,
+)
+from repro.checkpoint.manager import Checkpointer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Checkpointer",
+    "LoadContext",
+    "SaveContext",
+    "load_checkpoint",
+    "read_header",
+    "save_checkpoint",
+]

@@ -1,0 +1,104 @@
+"""Checkpoint scheduling: periodic snapshots and SIGTERM handoff.
+
+A :class:`Checkpointer` is handed to a driver's ``run(...)`` loop,
+which calls :meth:`Checkpointer.poll` once per loop iteration — the
+only points where every component invariant holds, making them the
+only legal snapshot points.  The manager decides *when* to actually
+save:
+
+* every ``every`` memory cycles (periodic snapshots), and/or
+* when a SIGTERM arrived since the last poll — the handler only sets
+  a flag, so the snapshot is still taken at a clean loop boundary,
+  then the process exits with status 143 (the conventional
+  128+SIGTERM), which the experiment runner and the CI smoke job use
+  to distinguish "interrupted with a snapshot" from a crash.
+"""
+
+from __future__ import annotations
+
+import signal
+from typing import Optional
+
+from repro.checkpoint.format import save_checkpoint
+
+#: Conventional exit status for a SIGTERM-driven shutdown (128 + 15).
+SIGTERM_EXIT_CODE = 143
+
+
+class Checkpointer:
+    """Decides at each run-loop boundary whether to snapshot."""
+
+    def __init__(
+        self,
+        path: str,
+        every: Optional[int] = None,
+        meta: Optional[dict] = None,
+    ) -> None:
+        self.path = path
+        self.every = every
+        self.meta = meta
+        self.saves = 0
+        self._last_saved_cycle = 0
+        self._stop_requested = False
+        self._prev_handler = None
+        self._installed = False
+
+    def install_signal_handler(self) -> None:
+        """Route SIGTERM to a save-at-next-poll-then-exit.
+
+        Safe to call from worker processes; in non-main threads (where
+        ``signal.signal`` raises) it degrades to periodic-only.  Pair
+        with :meth:`uninstall_signal_handler` once the run finishes:
+        the flag-only handler must not outlive the run loop that polls
+        the flag, or a later SIGTERM (e.g. ``Pool.terminate()`` in a
+        forked worker that inherited the handler) is silently absorbed
+        and the process never dies.
+        """
+        try:
+            self._prev_handler = signal.signal(
+                signal.SIGTERM, self._on_sigterm
+            )
+            self._installed = True
+        except ValueError:
+            pass
+
+    def uninstall_signal_handler(self) -> None:
+        """Restore the SIGTERM disposition captured at install time."""
+        if not self._installed:
+            return
+        try:
+            signal.signal(
+                signal.SIGTERM, self._prev_handler or signal.SIG_DFL
+            )
+        except ValueError:
+            pass
+        self._installed = False
+
+    def _on_sigterm(self, signum, frame) -> None:
+        # Flag only: the snapshot must happen at a loop boundary, not
+        # wherever the signal happened to interrupt execution.
+        self._stop_requested = True
+
+    def request_stop(self) -> None:
+        """Programmatic SIGTERM equivalent (tests, in-process kills)."""
+        self._stop_requested = True
+
+    def save(self, driver) -> None:
+        """Snapshot now (caller must be at a loop boundary)."""
+        save_checkpoint(self.path, driver, meta=self.meta)
+        self.saves += 1
+        self._last_saved_cycle = driver.system.cycle
+
+    def poll(self, driver) -> None:
+        """Called by run loops once per iteration, before stepping."""
+        if self._stop_requested:
+            self.save(driver)
+            raise SystemExit(SIGTERM_EXIT_CODE)
+        if (
+            self.every is not None
+            and driver.system.cycle - self._last_saved_cycle >= self.every
+        ):
+            self.save(driver)
+
+
+__all__ = ["Checkpointer", "SIGTERM_EXIT_CODE"]

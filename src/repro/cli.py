@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -53,7 +54,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "(HPCA 2007 reproduction)."
         ),
     )
-    source = parser.add_mutually_exclusive_group(required=True)
+    # Not required at the argparse level: --resume snapshots carry
+    # their own workload metadata (validated in main()).
+    source = parser.add_mutually_exclusive_group(required=False)
     source.add_argument(
         "--benchmark", choices=benchmark_names(),
         help="synthetic SPEC CPU2000 profile",
@@ -110,6 +113,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit JSON instead of text"
     )
     parser.add_argument("--csv", help="write the summary as a one-row CSV file")
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help=(
+            "enable checkpointing: write snapshots under DIR (on "
+            "SIGTERM, and periodically with --checkpoint-every); a "
+            "terminated run exits 143 after saving"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, metavar="N",
+        help="also snapshot every N memory cycles (needs --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--resume", metavar="FILE",
+        help=(
+            "resume from a snapshot file; the workload, mechanism and "
+            "machine variant are restored from the snapshot metadata, "
+            "so no source argument is needed"
+        ),
+    )
+    parser.add_argument(
+        "--stats-out", metavar="FILE",
+        help=(
+            "write the full unrounded statistics bundle as canonical "
+            "JSON (for byte-exact comparison of resumed runs)"
+        ),
+    )
     return parser
 
 
@@ -128,7 +158,36 @@ def _make_trace(args):
     return args.trace, load_trace(args.trace)
 
 
+#: Workload/machine knobs a snapshot records so --resume can rebuild
+#: the exact run without any source arguments.
+_META_FIELDS = (
+    "benchmark", "mix", "micro", "trace", "mechanism", "accesses",
+    "seed", "threshold", "device", "mapping", "row_policy", "cpu",
+    "oracle",
+)
+
+
+def _args_meta(args) -> dict:
+    return {field: getattr(args, field) for field in _META_FIELDS}
+
+
+def _apply_meta(args, meta: dict) -> None:
+    """Overwrite workload/machine args from a snapshot's metadata."""
+    missing = [field for field in _META_FIELDS if field not in meta]
+    if missing:
+        raise ReproError(
+            f"snapshot metadata is missing {missing}; it was not saved "
+            "by repro-sim and cannot be resumed from the CLI"
+        )
+    for field in _META_FIELDS:
+        setattr(args, field, meta[field])
+
+
 def _run(args):
+    if args.resume:
+        from repro.checkpoint import read_header
+
+        _apply_meta(args, read_header(args.resume).get("meta") or {})
     config = baseline_config(
         timing=DEVICES[args.device],
         mapping=args.mapping,
@@ -141,8 +200,39 @@ def _run(args):
         config, args.mechanism, oracle=True if args.oracle else None
     )
     core_cls = OoOCore if args.cpu == "ooo" else InOrderCore
-    result = core_cls(system, trace).run()
+    core = core_cls(system, trace)
+    checkpointer = None
+    if args.checkpoint_dir:
+        from repro.checkpoint import Checkpointer
+
+        path = os.path.join(
+            args.checkpoint_dir, f"{workload}-{args.mechanism}.ckpt"
+        )
+        checkpointer = Checkpointer(
+            path, every=args.checkpoint_every, meta=_args_meta(args)
+        )
+        checkpointer.install_signal_handler()
+    elif args.checkpoint_every:
+        raise ReproError("--checkpoint-every requires --checkpoint-dir")
+    if args.resume:
+        from repro.checkpoint import load_checkpoint
+
+        load_checkpoint(args.resume, core)
+    try:
+        result = core.run(checkpointer=checkpointer)
+    finally:
+        # Restore SIGTERM once the polling loop is gone, so in-process
+        # callers (tests) don't leak a flag-only handler that would
+        # absorb later real termination signals.
+        if checkpointer is not None:
+            checkpointer.uninstall_signal_handler()
     stats = system.stats
+    if args.stats_out:
+        with open(args.stats_out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"stats": stats.to_dict(), "result": result.to_dict()},
+                sort_keys=True,
+            ))
     summary = {
         "workload": workload,
         "mechanism": system.mechanism_name,
@@ -161,7 +251,14 @@ def _run(args):
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the repro-sim command."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if not (args.benchmark or args.mix or args.micro or args.trace
+            or args.resume):
+        parser.error(
+            "one of --benchmark/--mix/--micro/--trace (or --resume) "
+            "is required"
+        )
     try:
         summary = _run(args)
     except (ReproError, OSError) as error:

@@ -8,8 +8,7 @@ may require several SDRAM transactions depending on device state.
 from __future__ import annotations
 
 import enum
-import itertools
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.dram.channel import RowState
 from repro.mapping.base import DecodedAddress
@@ -33,7 +32,32 @@ class EnqueueStatus(enum.Enum):
     REJECTED_FULL = "rejected_full"
 
 
-_ids = itertools.count()
+# Process-wide access id allocator.  Ids only break ties (completion
+# heaps order by (cycle, id)), so all that matters is that relative
+# order within a run is preserved.  The counter is settable so that a
+# restored snapshot can bump it past every serialized id, keeping new
+# allocations strictly younger than every restored access — exactly as
+# in the uninterrupted run.
+_next_id = 0
+
+
+def _allocate_id() -> int:
+    global _next_id
+    value = _next_id
+    _next_id += 1
+    return value
+
+
+def peek_next_access_id() -> int:
+    """The id the next :class:`MemoryAccess` will receive."""
+    return _next_id
+
+
+def ensure_next_access_id(value: int) -> None:
+    """Raise the allocator so future ids are ``>= value`` (never lowers)."""
+    global _next_id
+    if value > _next_id:
+        _next_id = value
 
 
 class MemoryAccess:
@@ -79,7 +103,7 @@ class MemoryAccess:
         decoded: DecodedAddress,
         arrival: int,
     ) -> None:
-        self.id = next(_ids)
+        self.id = _allocate_id()
         self.type = type
         self.address = address
         self.channel = decoded.channel
@@ -114,6 +138,50 @@ class MemoryAccess:
         """Hashable identity of the target bank within the channel."""
         return (self.rank, self.bank)
 
+    def to_state(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of every slot, including the id."""
+        return {
+            "id": self.id,
+            "type": self.type.value,
+            "address": self.address,
+            "channel": self.channel,
+            "rank": self.rank,
+            "bank": self.bank,
+            "row": self.row,
+            "column": self.column,
+            "arrival": self.arrival,
+            "start_cycle": self.start_cycle,
+            "complete_cycle": self.complete_cycle,
+            "row_state": (
+                self.row_state.value if self.row_state is not None else None
+            ),
+            "forwarded": self.forwarded,
+            "preempted": self.preempted,
+            "piggybacked": self.piggybacked,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "MemoryAccess":
+        """Rebuild an access with its original id and lifecycle stamps."""
+        access = cls.__new__(cls)
+        access.id = state["id"]
+        access.type = AccessType(state["type"])
+        access.address = state["address"]
+        access.channel = state["channel"]
+        access.rank = state["rank"]
+        access.bank = state["bank"]
+        access.row = state["row"]
+        access.column = state["column"]
+        access.arrival = state["arrival"]
+        access.start_cycle = state["start_cycle"]
+        access.complete_cycle = state["complete_cycle"]
+        raw = state["row_state"]
+        access.row_state = RowState(raw) if raw is not None else None
+        access.forwarded = state["forwarded"]
+        access.preempted = state["preempted"]
+        access.piggybacked = state["piggybacked"]
+        return access
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"MemoryAccess(#{self.id} {self.type.value} "
@@ -122,4 +190,10 @@ class MemoryAccess:
         )
 
 
-__all__ = ["AccessType", "EnqueueStatus", "MemoryAccess"]
+__all__ = [
+    "AccessType",
+    "EnqueueStatus",
+    "MemoryAccess",
+    "ensure_next_access_id",
+    "peek_next_access_id",
+]

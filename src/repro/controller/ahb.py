@@ -84,6 +84,38 @@ class AHBScheduler(Scheduler):
     def pending_accesses(self) -> int:
         return self._pending
 
+    def _mech_state(self, ctx) -> dict:
+        # ``arrival_read_frac`` is a float EWMA; Python's json round
+        # trips floats losslessly (shortest-repr), so no quantisation.
+        return {
+            "read_queues": [
+                [list(key), [ctx.ref(a) for a in queue]]
+                for key, queue in self._read_queues.items()
+            ],
+            "write_queues": [
+                [list(key), [ctx.ref(a) for a in queue]]
+                for key, queue in self._write_queues.items()
+            ],
+            "ongoing": [
+                [list(key), ctx.ref_opt(access)]
+                for key, access in self._ongoing.items()
+            ],
+            "pending": self._pending,
+            "arrival_read_frac": self.arrival_read_frac,
+            "history": list(self._history),
+        }
+
+    def _load_mech_state(self, state: dict, ctx) -> None:
+        for key, refs in state["read_queues"]:
+            self._read_queues[tuple(key)] = [ctx.get(r) for r in refs]
+        for key, refs in state["write_queues"]:
+            self._write_queues[tuple(key)] = [ctx.get(r) for r in refs]
+        for key, ref in state["ongoing"]:
+            self._ongoing[tuple(key)] = ctx.get_opt(ref)
+        self._pending = state["pending"]
+        self.arrival_read_frac = state["arrival_read_frac"]
+        self._history = deque(state["history"], maxlen=self._history.maxlen)
+
     # ------------------------------------------------------------------
     # Selection
     # ------------------------------------------------------------------

@@ -64,6 +64,30 @@ class IntelScheduler(Scheduler):
     def pending_accesses(self) -> int:
         return self._pending
 
+    def _mech_state(self, ctx) -> dict:
+        return {
+            "read_queues": [
+                [list(key), [ctx.ref(a) for a in queue]]
+                for key, queue in self._read_queues.items()
+            ],
+            "write_queue": [ctx.ref(a) for a in self._write_queue],
+            "ongoing": [
+                [list(key), ctx.ref_opt(access)]
+                for key, access in self._ongoing.items()
+            ],
+            "pending": self._pending,
+            "drain_mode": self._drain_mode,
+        }
+
+    def _load_mech_state(self, state: dict, ctx) -> None:
+        for key, refs in state["read_queues"]:
+            self._read_queues[tuple(key)] = [ctx.get(r) for r in refs]
+        self._write_queue = [ctx.get(r) for r in state["write_queue"]]
+        for key, ref in state["ongoing"]:
+            self._ongoing[tuple(key)] = ctx.get_opt(ref)
+        self._pending = state["pending"]
+        self._drain_mode = state["drain_mode"]
+
     # ------------------------------------------------------------------
     # Access-level selection
     # ------------------------------------------------------------------

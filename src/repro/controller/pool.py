@@ -71,6 +71,19 @@ class AccessPool:
         else:
             self.read_count += 1
 
+    def state_dict(self) -> dict:
+        """Occupancy counters plus the gate-stamp write version."""
+        return {
+            "read_count": self.read_count,
+            "write_count": self.write_count,
+            "write_version": self.write_version,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.read_count = state["read_count"]
+        self.write_count = state["write_count"]
+        self.write_version = state["write_version"]
+
     def remove(self, access: MemoryAccess) -> None:
         if access.is_write:
             if self.write_count <= 0:

@@ -363,6 +363,59 @@ class MemorySystem:
         """
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        """Serialize cycle, pool, stats and every per-channel component.
+
+        The next-event bookkeeping (``_quiet_until``, streak, arming
+        bar) is *not* serialized: it is reset on load, which is safe
+        because skipping is results-invariant (the fast==slow property
+        PR 4 pinned) — the restored run may tick a few extra cycles
+        before re-arming, producing identical statistics.
+        """
+        return {
+            "cycle": self.cycle,
+            "pool": self.pool.state_dict(),
+            "stats": self.stats.to_dict(),
+            "channels": [c.state_dict() for c in self.channels],
+            "refreshers": [r.state_dict() for r in self.refreshers],
+            "schedulers": [s.state_dict(ctx) for s in self.schedulers],
+            "oracles": [o.state_dict() for o in self.oracles],
+        }
+
+    def load_state_dict(self, state: dict, ctx) -> None:
+        from repro.errors import CheckpointMismatchError
+
+        if len(state["channels"]) != len(self.channels):
+            raise CheckpointMismatchError(
+                f"snapshot has {len(state['channels'])} channels, "
+                f"system has {len(self.channels)}"
+            )
+        if self.oracles and len(state["oracles"]) != len(self.oracles):
+            raise CheckpointMismatchError(
+                "cannot resume with the protocol oracle attached: the "
+                "snapshot carries no oracle shadow state (it was saved "
+                "without REPRO_ORACLE/--oracle)"
+            )
+        self.cycle = state["cycle"]
+        self.pool.load_state_dict(state["pool"])
+        self.stats.load_state(state["stats"])
+        for channel, payload in zip(self.channels, state["channels"]):
+            channel.load_state_dict(payload)
+        for refresher, payload in zip(self.refreshers, state["refreshers"]):
+            refresher.load_state_dict(payload)
+        for scheduler, payload in zip(self.schedulers, state["schedulers"]):
+            scheduler.load_state_dict(payload, ctx)
+        for oracle, payload in zip(self.oracles, state["oracles"]):
+            oracle.load_state_dict(payload)
+        self._tick_active = False
+        self._quiet_until = -1
+        self._quiet_streak = 0
+        self._arm_after = 2
+
+    # ------------------------------------------------------------------
     # Run-state inspection
     # ------------------------------------------------------------------
 

@@ -115,6 +115,34 @@ class Cache:
         cache_set[tag] = is_write
         return False, writeback
 
+    def state_dict(self) -> dict:
+        """Per-set [tag, dirty] lists in LRU→MRU order, plus counters.
+
+        OrderedDict insertion order *is* the replacement state, so the
+        per-set lists preserve it exactly; restoring re-inserts in the
+        same order and byte-identical victim selection follows.
+        """
+        return {
+            "sets": [
+                [[tag, dirty] for tag, dirty in cache_set.items()]
+                for cache_set in self._sets
+            ],
+            "stats": {
+                "reads": self.stats.reads,
+                "writes": self.stats.writes,
+                "read_misses": self.stats.read_misses,
+                "write_misses": self.stats.write_misses,
+                "writebacks": self.stats.writebacks,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._sets = [
+            OrderedDict((tag, dirty) for tag, dirty in entries)
+            for entries in state["sets"]
+        ]
+        self.stats = CacheStats(**state["stats"])
+
     def contains(self, address: int) -> bool:
         """Presence probe without LRU/statistics side effects."""
         line = address >> self._line_shift

@@ -92,6 +92,11 @@ class OoOCore:
             cpu.width * system.config.cpu_cycles_per_mem_cycle
         )
         self._trace = iter(trace)
+        # Records pulled off the trace iterator so far.  Traces are
+        # deterministic (regenerable from benchmark+accesses+seed), so
+        # a checkpoint stores this count instead of iterator state and
+        # restore fast-forwards a fresh iterator past it.
+        self._trace_consumed = 0
         # ROB entries: ints collapse runs of non-memory instructions;
         # MemoryAccess entries are loads awaiting in-order retirement.
         self._rob: Deque[Union[int, MemoryAccess]] = deque()
@@ -147,6 +152,7 @@ class OoOCore:
         if record is None:
             self._trace_done = True
             return False
+        self._trace_consumed += 1
         self._staged = [record.gap, record]
         return True
 
@@ -271,7 +277,86 @@ class OoOCore:
         ):
             self.system.note_rejected_enqueues(cycle, k)
 
-    def run(self, max_cycles: int = 50_000_000) -> CoreResult:
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    kind = "ooo"
+
+    def state_dict(self, ctx) -> dict:
+        """Pipeline state: ROB contents, staged record, LSQ tracking.
+
+        The ROB interleaves instruction-run ints with load accesses;
+        each entry is tagged (``["i", count]`` / ``["a", ref]``) so the
+        exact coalescing — which ``_append_instructions`` depends on —
+        survives the round trip.  The trace iterator itself is not
+        serialized: ``trace_consumed`` counts records pulled so far and
+        load fast-forwards a freshly regenerated iterator past them.
+        """
+        staged = None
+        if self._staged is not None:
+            gap_remaining, record = self._staged
+            staged = [
+                gap_remaining, record.gap, record.op.value, record.address
+            ]
+        return {
+            "trace_consumed": self._trace_consumed,
+            "rob": [
+                ["i", entry] if isinstance(entry, int)
+                else ["a", ctx.ref(entry)]
+                for entry in self._rob
+            ],
+            "rob_occupancy": self._rob_occupancy,
+            "staged": staged,
+            "trace_done": self._trace_done,
+            "inflight_loads": self._inflight_loads,
+            "done_loads": sorted(self._done_loads),
+            "pending_store": ctx.ref_opt(self._pending_store),
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "head_block_cycles": self.head_block_cycles,
+            "store_stall_cycles": self.store_stall_cycles,
+        }
+
+    def load_state_dict(self, state: dict, ctx) -> None:
+        from repro.errors import CheckpointMismatchError
+
+        consumed = state["trace_consumed"]
+        for _ in range(consumed):
+            if next(self._trace, None) is None:
+                raise CheckpointMismatchError(
+                    f"trace exhausted while replaying {consumed} consumed "
+                    "records; the resume run must regenerate the exact "
+                    "trace the snapshot was taken from"
+                )
+        self._trace_consumed = consumed
+        self._rob = deque(
+            entry if tag == "i" else ctx.get(entry)
+            for tag, entry in state["rob"]
+        )
+        self._rob_occupancy = state["rob_occupancy"]
+        if state["staged"] is None:
+            self._staged = None
+        else:
+            gap_remaining, gap, op_value, address = state["staged"]
+            record = TraceRecord(
+                gap=gap, op=AccessType(op_value), address=address
+            )
+            self._staged = [gap_remaining, record]
+        self._trace_done = state["trace_done"]
+        self._inflight_loads = state["inflight_loads"]
+        self._done_loads = set(state["done_loads"])
+        self._pending_store = ctx.get_opt(state["pending_store"])
+        self.instructions = state["instructions"]
+        self.loads = state["loads"]
+        self.stores = state["stores"]
+        self.head_block_cycles = state["head_block_cycles"]
+        self.store_stall_cycles = state["store_stall_cycles"]
+
+    def run(
+        self, max_cycles: int = 50_000_000, checkpointer=None
+    ) -> CoreResult:
         """Run to completion; returns the execution-time result.
 
         Next-event loop (see :meth:`OpenLoopDriver.run <repro.sim.
@@ -289,6 +374,11 @@ class OoOCore:
         # first cycle of a quiet window is cheaper to just step.
         check = False
         while not self.done:
+            if checkpointer is not None:
+                # Loop-iteration boundaries are the snapshot points:
+                # every pipeline invariant holds here, so a restored
+                # run re-enters the loop in an identical state.
+                checkpointer.poll(self)
             if system.cycle > max_cycles:
                 raise SchedulerError(
                     f"CPU run exceeded {max_cycles} memory cycles"

@@ -48,6 +48,14 @@ class CacheHierarchy:
                 ops.append((AccessType.READ, address))
         return ops
 
+    def state_dict(self) -> dict:
+        """Both levels' tag/LRU/dirty state (see Cache.state_dict)."""
+        return {"l1d": self.l1d.state_dict(), "l2": self.l2.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.l1d.load_state_dict(state["l1d"])
+        self.l2.load_state_dict(state["l2"])
+
     def drain(self) -> List[MemoryOp]:
         """Flush both levels; returns the final writeback stream."""
         ops: List[MemoryOp] = []

@@ -37,6 +37,10 @@ class InOrderCore:
             cpu.width * system.config.cpu_cycles_per_mem_cycle
         )
         self._trace = iter(trace)
+        # Records pulled off the trace iterator so far (checkpointing:
+        # traces are regenerable, so restore fast-forwards a fresh
+        # iterator past this count instead of serializing the iterator).
+        self._trace_consumed = 0
         self._staged = None           # [gap_remaining, record]
         self._trace_done = False
         self._blocked_on: Optional[MemoryAccess] = None
@@ -57,6 +61,7 @@ class InOrderCore:
         if record is None:
             self._trace_done = True
             return False
+        self._trace_consumed += 1
         self._staged = [record.gap, record]
         return True
 
@@ -150,13 +155,75 @@ class InOrderCore:
         elif self._staged is not None and self._staged[0] == 0:
             self.system.note_rejected_enqueues(cycle, k)
 
-    def run(self, max_cycles: int = 50_000_000) -> CoreResult:
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    kind = "inorder"
+
+    def state_dict(self, ctx) -> dict:
+        """Blocking-core state (same trace-replay scheme as OoOCore)."""
+        staged = None
+        if self._staged is not None:
+            gap_remaining, record = self._staged
+            staged = [
+                gap_remaining, record.gap, record.op.value, record.address
+            ]
+        return {
+            "trace_consumed": self._trace_consumed,
+            "staged": staged,
+            "trace_done": self._trace_done,
+            "blocked_on": ctx.ref_opt(self._blocked_on),
+            "pending_store": ctx.ref_opt(self._pending_store),
+            "done_ids": sorted(self._done_ids),
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "head_block_cycles": self.head_block_cycles,
+            "store_stall_cycles": self.store_stall_cycles,
+        }
+
+    def load_state_dict(self, state: dict, ctx) -> None:
+        from repro.errors import CheckpointMismatchError
+
+        consumed = state["trace_consumed"]
+        for _ in range(consumed):
+            if next(self._trace, None) is None:
+                raise CheckpointMismatchError(
+                    f"trace exhausted while replaying {consumed} consumed "
+                    "records; the resume run must regenerate the exact "
+                    "trace the snapshot was taken from"
+                )
+        self._trace_consumed = consumed
+        if state["staged"] is None:
+            self._staged = None
+        else:
+            gap_remaining, gap, op_value, address = state["staged"]
+            record = TraceRecord(
+                gap=gap, op=AccessType(op_value), address=address
+            )
+            self._staged = [gap_remaining, record]
+        self._trace_done = state["trace_done"]
+        self._blocked_on = ctx.get_opt(state["blocked_on"])
+        self._pending_store = ctx.get_opt(state["pending_store"])
+        self._done_ids = set(state["done_ids"])
+        self.instructions = state["instructions"]
+        self.loads = state["loads"]
+        self.stores = state["stores"]
+        self.head_block_cycles = state["head_block_cycles"]
+        self.store_stall_cycles = state["store_stall_cycles"]
+
+    def run(
+        self, max_cycles: int = 50_000_000, checkpointer=None
+    ) -> CoreResult:
         fast = fastfwd_enabled()
         system = self.system
         # Markers are captured lazily — see OoOCore.run: busy cycles
         # would discard the capture, so only quiet streaks pay for it.
         check = False
         while not self.done:
+            if checkpointer is not None:
+                checkpointer.poll(self)
             if system.cycle > max_cycles:
                 raise SchedulerError(
                     f"in-order run exceeded {max_cycles} memory cycles"

@@ -98,6 +98,33 @@ class Bank:
         return self.ready_precharge if self.state is BankState.ACTIVE else NEVER
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Open-row state, earliest-issue cycles and command counters."""
+        return {
+            "state": self.state.value,
+            "open_row": self.open_row,
+            "ready_activate": self.ready_activate,
+            "ready_column": self.ready_column,
+            "ready_precharge": self.ready_precharge,
+            "activate_count": self.activate_count,
+            "precharge_count": self.precharge_count,
+            "column_count": self.column_count,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.state = BankState(state["state"])
+        self.open_row = state["open_row"]
+        self.ready_activate = state["ready_activate"]
+        self.ready_column = state["ready_column"]
+        self.ready_precharge = state["ready_precharge"]
+        self.activate_count = state["activate_count"]
+        self.precharge_count = state["precharge_count"]
+        self.column_count = state["column_count"]
+
+    # ------------------------------------------------------------------
     # Command application
     # ------------------------------------------------------------------
 

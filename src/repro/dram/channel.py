@@ -251,6 +251,37 @@ class Channel:
         bus = self.data_busy_until + self._data_start_gap(rank, is_read)
         return max(ready, r.refresh_busy_until, bus - latency)
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Bus occupancy/turnaround state plus every rank's payload.
+
+        ``_listeners`` is deliberately *not* serialized: restore is
+        in-place, so whatever observers (tracer, oracle, monitors) the
+        target system has attached keep watching across a load.
+        """
+        return {
+            "last_cmd_cycle": self._last_cmd_cycle,
+            "data_busy_until": self.data_busy_until,
+            "last_data_rank": self._last_data_rank,
+            "last_data_is_read": self._last_data_is_read,
+            "cmd_bus_cycles": self.cmd_bus_cycles,
+            "data_bus_cycles": self.data_bus_cycles,
+            "ranks": [rank.state_dict() for rank in self.ranks],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._last_cmd_cycle = state["last_cmd_cycle"]
+        self.data_busy_until = state["data_busy_until"]
+        self._last_data_rank = state["last_data_rank"]
+        self._last_data_is_read = state["last_data_is_read"]
+        self.cmd_bus_cycles = state["cmd_bus_cycles"]
+        self.data_bus_cycles = state["data_bus_cycles"]
+        for rank, payload in zip(self.ranks, state["ranks"]):
+            rank.load_state_dict(payload)
+
     def issue_activate(self, cycle: int, rank: int, bank: int, row: int) -> None:
         self._claim_cmd_bus(cycle)
         self.ranks[rank].activate(cycle, bank, row)

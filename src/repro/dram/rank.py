@@ -122,6 +122,32 @@ class Rank:
         return max(ready, self.ready_activate)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Rank-level gates, the tFAW window, and per-bank payloads."""
+        return {
+            "banks": [bank.state_dict() for bank in self.banks],
+            "ready_activate": self.ready_activate,
+            "ready_read": self.ready_read,
+            "activate_times": list(self._activate_times),
+            "refresh_count": self.refresh_count,
+            "refresh_busy_until": self.refresh_busy_until,
+            "refresh_pending": self.refresh_pending,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for bank, payload in zip(self.banks, state["banks"]):
+            bank.load_state_dict(payload)
+        self.ready_activate = state["ready_activate"]
+        self.ready_read = state["ready_read"]
+        self._activate_times = deque(state["activate_times"], maxlen=4)
+        self.refresh_count = state["refresh_count"]
+        self.refresh_busy_until = state["refresh_busy_until"]
+        self.refresh_pending = state["refresh_pending"]
+
+    # ------------------------------------------------------------------
     # Application
     # ------------------------------------------------------------------
 

@@ -95,6 +95,16 @@ class RefreshController:
                     )
         return wake
 
+    def state_dict(self) -> dict:
+        """The per-rank due cycles (``refresh_pending`` lives on Rank)."""
+        return {"due": list(self._due)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._due = list(state["due"])
+        # _min_due == min(_due) is an invariant maintained by tick(),
+        # so recomputing it is exact.
+        self._min_due = min(self._due) if self.enabled else NEVER
+
     def tick(self, cycle: int) -> bool:
         """Give the refresh engine first claim on this command slot.
 

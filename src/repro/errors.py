@@ -41,6 +41,19 @@ class OracleViolationError(SchedulerError):
     """
 
 
+class CheckpointMismatchError(ReproError):
+    """A snapshot cannot be restored into the target simulation.
+
+    Raised by the checkpoint subsystem when a saved snapshot disagrees
+    with the system it is being loaded into — schema version drift,
+    a different :meth:`SystemConfig.fingerprint`, a different
+    mechanism or driver kind, or observer topology (oracle attached at
+    restore time but absent from the snapshot).  Raising a typed error
+    at the header check keeps config drift from surfacing as a
+    ``KeyError`` deep inside a component's ``load_state_dict``.
+    """
+
+
 class PoolError(ReproError):
     """The shared access pool was used incorrectly (overflow/underflow)."""
 

@@ -28,6 +28,10 @@ Environment knobs::
     REPRO_CACHE_DIR=d   # cache location (default ./.repro-cache)
     REPRO_PROGRESS=1    # force progress lines on (0 = off,
                         # unset = only when stderr is a tty)
+    REPRO_CHECKPOINT=1  # snapshot in-flight cells (SIGTERM + periodic)
+                        # under <cache>/checkpoints/ and auto-resume
+    REPRO_CHECKPOINT_EVERY=N  # periodic snapshot interval in memory
+                        # cycles (default 1000000)
 """
 
 from __future__ import annotations
@@ -108,6 +112,8 @@ def code_version() -> str:
     """
     global _code_version
     if _code_version is None:
+        from repro.checkpoint import SCHEMA_VERSION
+
         root = Path(repro.__file__).resolve().parent
         digest = hashlib.sha256()
         for path in sorted(root.rglob("*.py")):
@@ -115,6 +121,11 @@ def code_version() -> str:
             digest.update(b"\0")
             digest.update(path.read_bytes())
             digest.update(b"\0")
+        # The checkpoint schema version is part of the digest in its
+        # own right: cell keys name runner checkpoints, so a schema
+        # bump must orphan old snapshots even if some future packaging
+        # change ships serialization outside the hashed source tree.
+        digest.update(f"checkpoint-schema:{SCHEMA_VERSION}".encode("utf-8"))
         _code_version = digest.hexdigest()[:16]
     return _code_version
 
@@ -233,6 +244,38 @@ def cache_clear() -> int:
 # ----------------------------------------------------------------------
 
 
+def checkpoint_enabled() -> bool:
+    """In-flight cell snapshotting is opt-in via ``REPRO_CHECKPOINT=1``."""
+    return os.environ.get("REPRO_CHECKPOINT", "0") not in ("", "0")
+
+
+def checkpoint_every() -> int:
+    """Periodic snapshot interval (``REPRO_CHECKPOINT_EVERY`` cycles)."""
+    raw = os.environ.get("REPRO_CHECKPOINT_EVERY", "1000000")
+    try:
+        every = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_CHECKPOINT_EVERY must be an integer, got {raw!r}"
+        ) from None
+    if every <= 0:
+        raise ConfigError(
+            f"REPRO_CHECKPOINT_EVERY must be positive, got {every}"
+        )
+    return every
+
+
+def checkpoint_path(key: str) -> Path:
+    """Where an in-flight cell's snapshot lives (keyed like the cache).
+
+    The cell key folds the code version (which folds the checkpoint
+    schema version), so a snapshot can never be resumed by a simulator
+    that would deserialize it differently — the new code simply
+    addresses a different path.
+    """
+    return cache_dir() / "checkpoints" / f"{key}.ckpt"
+
+
 def simulate_cell(
     benchmark: str,
     mechanism: str,
@@ -240,10 +283,49 @@ def simulate_cell(
     seed: int,
     config: SystemConfig,
 ) -> Tuple[SimStats, CoreResult]:
-    """One closed-loop run — pure function of its arguments."""
+    """One closed-loop run — pure function of its arguments.
+
+    With ``REPRO_CHECKPOINT=1`` the run snapshots itself periodically
+    and on SIGTERM (exiting 143), keyed next to the result cache; a
+    rerun of the same cell resumes from the snapshot instead of
+    starting over, and a completed cell deletes it.  Results are
+    byte-identical either way, so the cache stays oblivious.
+    """
     trace = make_benchmark_trace(benchmark, accesses, seed)
     system = MemorySystem(config, mechanism)
-    result = OoOCore(system, trace).run()
+    core = OoOCore(system, trace)
+    checkpointer = None
+    snapshot: Optional[Path] = None
+    if checkpoint_enabled():
+        from repro.checkpoint import Checkpointer, load_checkpoint
+        from repro.errors import CheckpointMismatchError
+
+        key = cell_key(benchmark, mechanism, accesses, seed, config)
+        snapshot = checkpoint_path(key)
+        checkpointer = Checkpointer(
+            str(snapshot), every=checkpoint_every(),
+            meta={"cell_key": key, "benchmark": benchmark,
+                  "mechanism": mechanism, "accesses": accesses,
+                  "seed": seed},
+        )
+        checkpointer.install_signal_handler()
+        if snapshot.exists():
+            try:
+                load_checkpoint(str(snapshot), core)
+            except CheckpointMismatchError:
+                # Defensive: the key should make this impossible, but a
+                # bad snapshot must never wedge the cell permanently.
+                snapshot.unlink(missing_ok=True)
+    try:
+        result = core.run(checkpointer=checkpointer)
+    finally:
+        # The flag-only SIGTERM handler is useless (and harmful: it
+        # absorbs Pool.terminate() in idle forked workers) once the
+        # polling run loop is gone.
+        if checkpointer is not None:
+            checkpointer.uninstall_signal_handler()
+    if snapshot is not None:
+        snapshot.unlink(missing_ok=True)
     return system.stats, result
 
 
@@ -420,6 +502,9 @@ __all__ = [
     "cache_load",
     "cache_store",
     "cell_key",
+    "checkpoint_enabled",
+    "checkpoint_every",
+    "checkpoint_path",
     "code_version",
     "default_jobs",
     "run_cells",

@@ -66,7 +66,39 @@ class OpenLoopDriver:
             not self._pending and not self._staged and self.system.idle
         )
 
-    def run(self, max_cycles: int = 10_000_000) -> int:
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    kind = "open_loop"
+
+    def state_dict(self, ctx) -> dict:
+        """Driver-side state: undelivered requests and staged accesses.
+
+        ``completed`` is not serialized: the run loop only looks at
+        per-iteration length deltas and nothing feeds it into SimStats,
+        so a resumed driver restarts it empty (it then holds only the
+        post-resume completions).
+        """
+        return {
+            "pending": [
+                [arrival, type_.value, address]
+                for arrival, type_, address in self._pending
+            ],
+            "staged": [ctx.ref(a) for a in self._staged],
+            "issued": self.issued,
+        }
+
+    def load_state_dict(self, state: dict, ctx) -> None:
+        self._pending = deque(
+            (arrival, AccessType(value), address)
+            for arrival, value, address in state["pending"]
+        )
+        self._staged = deque(ctx.get(r) for r in state["staged"])
+        self.completed = []
+        self.issued = state["issued"]
+
+    def run(self, max_cycles: int = 10_000_000, checkpointer=None) -> int:
         """Run to drain; returns the final cycle count.
 
         With ``REPRO_FASTFWD`` on (the default) the loop is a
@@ -82,6 +114,11 @@ class OpenLoopDriver:
         fast = fastfwd_enabled()
         system = self.system
         while not self.done:
+            if checkpointer is not None:
+                # Loop-iteration boundaries are the snapshot points:
+                # every component invariant holds here, so a restored
+                # run re-enters the loop in an identical state.
+                checkpointer.poll(self)
             if system.cycle > max_cycles:
                 raise SchedulerError(
                     f"simulation exceeded {max_cycles} cycles without "
@@ -143,9 +180,35 @@ def run_requests_verified(
     return cycles, oracles
 
 
+def run_requests_resumed(
+    system: MemorySystem,
+    requests: Iterable[Request],
+    checkpoint,
+    max_cycles: int = 10_000_000,
+    checkpointer=None,
+) -> int:
+    """Resume an open-loop run from a snapshot file and drain it.
+
+    ``system`` must be constructed exactly as for the original run —
+    same config, mechanism, and observer topology.  Observers attached
+    to the system (tracer, oracle, HazardMonitor) keep watching across
+    the load: restore is in-place, so channel listener lists and
+    wrapped scheduler methods survive, and attached oracles have their
+    shadow state refilled from the snapshot.  ``requests`` must be the
+    same stream the original run was given; requests the snapshot
+    already consumed are dropped during load.
+    """
+    from repro.checkpoint import load_checkpoint
+
+    driver = OpenLoopDriver(system, requests)
+    load_checkpoint(checkpoint, driver)
+    return driver.run(max_cycles, checkpointer=checkpointer)
+
+
 __all__ = [
     "OpenLoopDriver",
     "Request",
     "run_requests",
+    "run_requests_resumed",
     "run_requests_verified",
 ]

@@ -114,6 +114,39 @@ class FSBAdapter:
         return delivered
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        """Bus lane occupancy and the in-flight read fill heap.
+
+        ``_delivered_last_tick`` resets to False on load: run loops
+        read ``last_tick_active`` only right after a ``step()``, and a
+        resumed loop always steps before consulting it.
+        """
+        return {
+            "request_busy_until": self._request_busy_until,
+            "response_busy_until": self._response_busy_until,
+            "pending_responses": [
+                [done, ident, ctx.ref(access)]
+                for done, ident, access in self._pending_responses
+            ],
+            "request_stall_rejects": self.request_stall_rejects,
+            "response_transfer_cycles": self.response_transfer_cycles,
+        }
+
+    def load_state_dict(self, state: dict, ctx) -> None:
+        self._request_busy_until = state["request_busy_until"]
+        self._response_busy_until = state["response_busy_until"]
+        self._pending_responses = [
+            (done, ident, ctx.get(ref))
+            for done, ident, ref in state["pending_responses"]
+        ]
+        self._delivered_last_tick = False
+        self.request_stall_rejects = state["request_stall_rejects"]
+        self.response_transfer_cycles = state["response_transfer_cycles"]
+
+    # ------------------------------------------------------------------
     # Next-event time skipping (same protocol as MemorySystem)
     # ------------------------------------------------------------------
 

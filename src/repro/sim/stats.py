@@ -287,6 +287,18 @@ class SimStats:
         """Dataclass field names (serialization coverage checks)."""
         return tuple(f.name for f in fields(cls))
 
+    def load_state(self, data: Dict[str, object]) -> None:
+        """Restore a :meth:`to_dict` snapshot *into this instance*.
+
+        In-place on purpose: the schedulers, the system and the CPU
+        core all hold references to one shared bundle, so checkpoint
+        restore must refill the existing object rather than swap in a
+        new one.
+        """
+        other = SimStats.from_dict(data)
+        for name in self.field_names():
+            setattr(self, name, getattr(other, name))
+
     # ------------------------------------------------------------------
     # Derived metrics used by the experiment harness
     # ------------------------------------------------------------------

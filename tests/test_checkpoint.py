@@ -1,0 +1,440 @@
+"""Checkpoint/restore: byte-identical deterministic resume.
+
+The subsystem's defining invariant (DESIGN.md §10): for any workload,
+mechanism and snapshot cycle, save → kill → load → run-to-end produces
+``SimStats`` byte-identical to the uninterrupted run.  These tests pin
+it three ways:
+
+* **directed boundary snapshots** — the checkpoint lands in the states
+  most likely to be serialized wrong: mid-burst, with a refresh
+  drain pending, with the write queue straddling the Burst_TH
+  threshold (51/52/53 of 64), and one cycle before a gated schedule
+  pass wakes;
+* **a hypothesis property** — random workload × random snapshot point
+  × every mechanism, open loop, both FASTFWD modes, oracle attached;
+* **mismatch rejection** — schema drift, config drift, wrong
+  mechanism/driver/FSB topology and truncated files all raise typed
+  :class:`~repro.errors.CheckpointMismatchError` instead of quietly
+  resuming into garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint import (
+    SCHEMA_VERSION,
+    Checkpointer,
+    load_checkpoint,
+    read_header,
+    save_checkpoint,
+)
+from repro.controller.access import AccessType
+from repro.controller.registry import extension_names, mechanism_names
+from repro.controller.system import MemorySystem
+from repro.cpu.core import OoOCore
+from repro.cpu.inorder import InOrderCore
+from repro.dram.timing import DDR2_800
+from repro.errors import CheckpointMismatchError
+from repro.mapping.base import DecodedAddress
+from repro.sim.config import baseline_config
+from repro.sim.engine import OpenLoopDriver, run_requests_resumed
+from repro.sim.fsb import FSBAdapter
+from repro.workloads.spec2000 import make_benchmark_trace
+
+from tests.test_engine_fastfwd import (
+    QUIET,
+    _config,
+    _encode,
+    fastfwd,
+    workloads,
+)
+
+ALL_MECHANISMS = list(mechanism_names()) + list(extension_names())
+
+FAST_REFRESH = replace(DDR2_800, tREFI=150, tRFC=20)
+
+
+def _stats_blob(system) -> str:
+    return json.dumps(system.stats.to_dict(), sort_keys=True)
+
+
+def _roundtrip_at(tmp_path, config, mechanism, requests, predicate,
+                  oracle=False):
+    """Snapshot the first cycle ``predicate(driver)`` holds; assert the
+    resumed run matches the uninterrupted one byte for byte.
+
+    Saving has no side effects, so the snapshotted driver itself runs
+    on to completion and serves as the reference.
+    """
+    system = MemorySystem(config, mechanism, oracle=oracle)
+    driver = OpenLoopDriver(system, list(requests))
+    hit = False
+    while not driver.done:
+        if predicate(driver):
+            hit = True
+            break
+        driver.step()
+    assert hit, "workload never reached the targeted boundary state"
+    path = tmp_path / "boundary.ckpt"
+    save_checkpoint(str(path), driver)
+    driver.run()
+    reference = _stats_blob(system)
+
+    resumed = MemorySystem(config, mechanism, oracle=oracle)
+    run_requests_resumed(resumed, list(requests), str(path))
+    assert _stats_blob(resumed) == reference
+    return read_header(str(path))
+
+
+def _row_stream(config, count, rows=4, gap=2, write_every=None):
+    """Requests hammering a few rows of bank (0, 0) plus neighbours."""
+    donor = MemorySystem(config, "BkInOrder")
+    requests = []
+    cycle = 0
+    for i in range(count):
+        cycle += gap
+        decoded = DecodedAddress(0, i % 2, (i // 2) % 2, i % rows, i % 4)
+        address = donor.mapping.encode(decoded)
+        op = AccessType.READ
+        if write_every and i % write_every == 0:
+            op = AccessType.WRITE
+        requests.append((cycle, op, address))
+    return requests
+
+
+# ----------------------------------------------------------------------
+# Directed boundary snapshots
+# ----------------------------------------------------------------------
+
+
+def test_checkpoint_mid_burst(tmp_path):
+    """Snapshot while a burst is partially served (served > 0)."""
+    config = _config(QUIET)
+    requests = _row_stream(config, 40, rows=2, gap=1)
+
+    def mid_burst(driver):
+        scheduler = driver.system.schedulers[0]
+        return any(
+            burst.served > 0
+            for queue in scheduler._read_queues.values()
+            for burst in queue.bursts
+        )
+
+    _roundtrip_at(tmp_path, config, "Burst", requests, mid_burst)
+
+
+def test_checkpoint_with_refresh_pending(tmp_path):
+    """Snapshot while a rank is draining toward a due refresh."""
+    config = _config(FAST_REFRESH)
+    requests = _row_stream(config, 80, rows=4, gap=3)
+
+    def refresh_pending(driver):
+        return any(
+            rank.refresh_pending
+            for channel in driver.system.channels
+            for rank in channel.ranks
+        )
+
+    _roundtrip_at(tmp_path, config, "Burst_TH", requests, refresh_pending)
+
+
+@pytest.mark.parametrize("occupancy", [51, 52, 53])
+def test_checkpoint_at_write_threshold(tmp_path, occupancy):
+    """Snapshot with the write queue at 51/52/53 of 64 — straddling the
+    paper's Burst_TH threshold, where one queued write decides whether
+    the next schedule pass drains writes or serves reads."""
+    config = baseline_config(
+        channels=1, ranks=2, banks=2, rows=8,
+        pool_size=256, write_queue_size=64, threshold=52,
+        timing=QUIET,
+    )
+    donor = MemorySystem(config, "BkInOrder")
+    requests = []
+    for i in range(70):
+        # One write per cycle, staggered across rows so nothing
+        # forwards or coalesces; a read tail drains the pool.
+        address = donor.mapping.encode(
+            DecodedAddress(0, i % 2, (i // 2) % 2, i % 8, i % 4)
+        )
+        requests.append((i, AccessType.WRITE, address))
+    for i in range(20):
+        address = donor.mapping.encode(
+            DecodedAddress(0, i % 2, 0, i % 8, (i + 1) % 4)
+        )
+        requests.append((200 + 4 * i, AccessType.READ, address))
+
+    def at_occupancy(driver):
+        return driver.system.pool.write_count == occupancy
+
+    _roundtrip_at(tmp_path, config, "Burst_TH", requests, at_occupancy)
+
+
+def test_checkpoint_one_cycle_before_gate_wakes(tmp_path):
+    """Snapshot at ``_gate_until - 1``: the resumed run must re-run the
+    gated schedule pass at exactly the same cycle (gates reset on load,
+    so an extra pass must be a proven no-op)."""
+    config = _config(QUIET)
+    requests = _row_stream(config, 30, rows=4, gap=40)
+
+    def gate_armed_tomorrow(driver):
+        scheduler = driver.system.schedulers[0]
+        gate = scheduler._gate_until
+        return gate > 0 and driver.system.cycle == gate - 1
+
+    _roundtrip_at(
+        tmp_path, config, "Burst_TH", requests, gate_armed_tomorrow
+    )
+
+
+# ----------------------------------------------------------------------
+# Property: resume == straight-through, everywhere
+# ----------------------------------------------------------------------
+
+
+@settings(
+    deadline=None,
+    # tmp_path is only a scratch directory; reusing one across
+    # examples is harmless (each example overwrites prop.ckpt).
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    workload=workloads(),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+    refresh=st.booleans(),
+    fast=st.booleans(),
+)
+def test_resume_equals_straight_run(tmp_path, workload, fraction,
+                                    refresh, fast):
+    """Random snapshot point x random workload x every mechanism."""
+    config = _config(FAST_REFRESH if refresh else QUIET)
+    requests = _encode(config, workload)
+    path = tmp_path / "prop.ckpt"
+    for mechanism in ALL_MECHANISMS:
+        with fastfwd(fast):
+            system = MemorySystem(config, mechanism, oracle=True)
+            driver = OpenLoopDriver(system, list(requests))
+            steps = 0
+            # Step the whole drain (counting), then finalize — the
+            # resumed run ends in run(), which also finalizes.
+            while not driver.done:
+                driver.step()
+                steps += 1
+            system.finalize()
+            total = steps
+            reference = _stats_blob(system)
+
+            partial = MemorySystem(config, mechanism, oracle=True)
+            driver = OpenLoopDriver(partial, list(requests))
+            for _ in range(int(total * fraction)):
+                if driver.done:
+                    break
+                driver.step()
+            save_checkpoint(str(path), driver)
+
+            resumed = MemorySystem(config, mechanism, oracle=True)
+            run_requests_resumed(resumed, list(requests), str(path))
+        assert _stats_blob(resumed) == reference, (
+            f"{mechanism} diverged after resume at step "
+            f"{int(total * fraction)}/{total} (fast={fast})"
+        )
+
+
+@pytest.mark.parametrize("core_cls", [OoOCore, InOrderCore])
+@pytest.mark.parametrize("with_fsb", [False, True])
+def test_closed_loop_resume_identical(tmp_path, core_cls, with_fsb):
+    """CPU-coupled (optionally bus-limited) resume is byte-identical,
+    including the CoreResult and a regenerated trace iterator."""
+    config = baseline_config(channels=1, ranks=2, banks=2)
+    accesses = 900 if core_cls is OoOCore else 250
+
+    def build():
+        system = MemorySystem(config, "Burst_TH", oracle=True)
+        trace = make_benchmark_trace("swim", accesses=accesses, seed=5)
+        target = FSBAdapter(system) if with_fsb else system
+        return core_cls(target, trace), system
+
+    core, system = build()
+    result = core.run()
+    reference = (_stats_blob(system), json.dumps(result.to_dict()))
+
+    core, system = build()
+    for _ in range(300):
+        if core.done:
+            break
+        core.step()
+    path = tmp_path / "cpu.ckpt"
+    save_checkpoint(str(path), core)
+
+    core, system = build()
+    load_checkpoint(str(path), core)
+    result = core.run()
+    assert (_stats_blob(system), json.dumps(result.to_dict())) == reference
+
+
+def test_restored_references_share_identity(tmp_path):
+    """One access referenced from several places restores as ONE object
+    (completion heap + scheduler queue must see shared mutations)."""
+    config = _config(QUIET)
+    requests = _row_stream(config, 20, rows=2, gap=1)
+    system = MemorySystem(config, "FCFS")
+    driver = OpenLoopDriver(system, requests)
+    # Step until the scheduler holds both a queue and an ongoing access.
+    for _ in range(12):
+        driver.step()
+    path = tmp_path / "identity.ckpt"
+    save_checkpoint(str(path), driver)
+
+    resumed = MemorySystem(config, "FCFS")
+    fresh = OpenLoopDriver(resumed, requests)
+    load_checkpoint(str(path), fresh)
+    scheduler = resumed.schedulers[0]
+    by_id = {}
+    for _done, _ident, access in scheduler._completions:
+        by_id[access.id] = access
+    for access in scheduler._queue:
+        if access.id in by_id:
+            assert access is by_id[access.id]
+
+
+# ----------------------------------------------------------------------
+# Mismatch rejection
+# ----------------------------------------------------------------------
+
+
+def _small_snapshot(tmp_path, mechanism="Burst_TH", oracle=False):
+    config = _config(QUIET)
+    requests = _row_stream(config, 20, rows=2, gap=2)
+    system = MemorySystem(config, mechanism, oracle=oracle)
+    driver = OpenLoopDriver(system, requests)
+    for _ in range(10):
+        driver.step()
+    path = tmp_path / "snap.ckpt"
+    save_checkpoint(str(path), driver)
+    return config, requests, path
+
+
+def test_schema_drift_rejected(tmp_path):
+    config, requests, path = _small_snapshot(tmp_path)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["schema"] = SCHEMA_VERSION + 1
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    with pytest.raises(CheckpointMismatchError, match="schema"):
+        run_requests_resumed(
+            MemorySystem(config, "Burst_TH"), requests, str(path)
+        )
+
+
+def test_config_fingerprint_drift_rejected(tmp_path):
+    config, requests, path = _small_snapshot(tmp_path)
+    drifted = replace(config, pool_size=config.pool_size * 2)
+    with pytest.raises(CheckpointMismatchError, match="fingerprint"):
+        run_requests_resumed(
+            MemorySystem(drifted, "Burst_TH"), requests, str(path)
+        )
+
+
+def test_mechanism_mismatch_rejected(tmp_path):
+    config, requests, path = _small_snapshot(tmp_path)
+    with pytest.raises(CheckpointMismatchError, match="mechanism"):
+        run_requests_resumed(
+            MemorySystem(config, "RowHit"), requests, str(path)
+        )
+
+
+def test_driver_kind_mismatch_rejected(tmp_path):
+    config, requests, path = _small_snapshot(tmp_path)
+    system = MemorySystem(config, "Burst_TH")
+    core = OoOCore(system, make_benchmark_trace("swim", 50, seed=1))
+    with pytest.raises(CheckpointMismatchError, match="driver kind"):
+        load_checkpoint(str(path), core)
+
+
+def test_fsb_topology_mismatch_rejected(tmp_path):
+    config, requests, path = _small_snapshot(tmp_path)
+    system = MemorySystem(config, "Burst_TH")
+    driver = OpenLoopDriver(FSBAdapter(system), requests)
+    with pytest.raises(CheckpointMismatchError, match="front-side-bus"):
+        load_checkpoint(str(path), driver)
+
+
+def test_oracle_without_snapshot_state_rejected(tmp_path):
+    """Target with an oracle cannot resume an oracle-less snapshot: a
+    fresh oracle mid-stream would false-flag (e.g. the tREFI audit)."""
+    config, requests, path = _small_snapshot(tmp_path, oracle=False)
+    with pytest.raises(CheckpointMismatchError, match="oracle"):
+        run_requests_resumed(
+            MemorySystem(config, "Burst_TH", oracle=True),
+            requests, str(path),
+        )
+
+
+def test_oracleless_target_accepts_oracle_snapshot(tmp_path):
+    """The reverse is fine: shadow state in the snapshot is ignored."""
+    config, requests, path = _small_snapshot(tmp_path, oracle=True)
+    resumed = MemorySystem(config, "Burst_TH", oracle=False)
+    run_requests_resumed(resumed, requests, str(path))
+
+
+def test_truncated_snapshot_rejected(tmp_path):
+    config, requests, path = _small_snapshot(tmp_path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")   # drop the end guard
+    with pytest.raises(CheckpointMismatchError, match="truncated"):
+        run_requests_resumed(
+            MemorySystem(config, "Burst_TH"), requests, str(path)
+        )
+
+
+# ----------------------------------------------------------------------
+# The Checkpointer manager
+# ----------------------------------------------------------------------
+
+
+def test_periodic_snapshots_and_meta(tmp_path):
+    config = _config(QUIET)
+    requests = _row_stream(config, 30, rows=4, gap=30)
+    system = MemorySystem(config, "Burst_TH")
+    driver = OpenLoopDriver(system, requests)
+    path = tmp_path / "periodic.ckpt"
+    checkpointer = Checkpointer(
+        str(path), every=100, meta={"label": "unit"}
+    )
+    driver.run(checkpointer=checkpointer)
+    assert checkpointer.saves >= 2
+    header = read_header(str(path))
+    assert header["meta"] == {"label": "unit"}
+    assert header["schema"] == SCHEMA_VERSION
+
+
+def test_requested_stop_saves_then_exits_143(tmp_path):
+    """The SIGTERM path: flag set -> snapshot at next poll -> exit 143.
+    The snapshot must resume to the exact uninterrupted statistics."""
+    config = _config(QUIET)
+    requests = _row_stream(config, 40, rows=4, gap=5)
+
+    system = MemorySystem(config, "Burst_TH")
+    OpenLoopDriver(system, list(requests)).run()
+    reference = _stats_blob(system)
+
+    system = MemorySystem(config, "Burst_TH")
+    driver = OpenLoopDriver(system, list(requests))
+    for _ in range(25):
+        driver.step()
+    path = tmp_path / "killed.ckpt"
+    checkpointer = Checkpointer(str(path))
+    checkpointer.request_stop()
+    with pytest.raises(SystemExit) as exit_info:
+        driver.run(checkpointer=checkpointer)
+    assert exit_info.value.code == 143
+    assert path.exists()
+
+    resumed = MemorySystem(config, "Burst_TH")
+    run_requests_resumed(resumed, list(requests), str(path))
+    assert _stats_blob(resumed) == reference

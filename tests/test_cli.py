@@ -108,3 +108,46 @@ def test_missing_trace_file_errors(capsys):
 def test_mutually_exclusive_sources():
     with pytest.raises(SystemExit):
         main(["--benchmark", "gzip", "--micro", "stream"])
+
+
+def test_checkpoint_resume_round_trip(tmp_path, capsys):
+    """--checkpoint-dir snapshots carry their own metadata; --resume
+    rebuilds the run with no source args and matches byte for byte."""
+    import signal
+
+    ref = tmp_path / "ref.json"
+    assert main([
+        "--benchmark", "swim", "--mechanism", "Burst_TH",
+        "--accesses", "600", "--stats-out", str(ref),
+    ]) == 0
+    capsys.readouterr()
+
+    ckdir = tmp_path / "ck"
+    before = signal.getsignal(signal.SIGTERM)
+    assert main([
+        "--benchmark", "swim", "--mechanism", "Burst_TH",
+        "--accesses", "600", "--checkpoint-dir", str(ckdir),
+        "--checkpoint-every", "500",
+    ]) == 0
+    capsys.readouterr()
+    # The flag-only SIGTERM handler must not leak out of the run: a
+    # leaked handler is inherited by forked pool workers and absorbs
+    # Pool.terminate(), wedging any later multiprocessing teardown.
+    assert signal.getsignal(signal.SIGTERM) is before
+    snapshot = ckdir / "swim-Burst_TH.ckpt"
+    assert snapshot.exists()
+
+    out = tmp_path / "resumed.json"
+    assert main([
+        "--resume", str(snapshot), "--stats-out", str(out),
+    ]) == 0
+    capsys.readouterr()
+    assert out.read_bytes() == ref.read_bytes()
+
+
+def test_checkpoint_every_requires_dir(capsys):
+    assert main([
+        "--benchmark", "swim", "--accesses", "100",
+        "--checkpoint-every", "50",
+    ]) == 1
+    assert "checkpoint-dir" in capsys.readouterr().err

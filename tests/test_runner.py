@@ -190,3 +190,75 @@ def test_cli_shorthand_and_jobs(capsys, monkeypatch):
     out = capsys.readouterr().out
     assert "table1" in out
     assert main(["run", "table1"]) == 0  # explicit form still works
+
+
+def test_checkpoint_resume_of_interrupted_cell(monkeypatch):
+    """A cell interrupted mid-run resumes from its snapshot and matches
+    the uninterrupted result byte for byte; completed cells are served
+    from the result cache and never re-simulated."""
+    from repro.checkpoint import save_checkpoint
+    from repro.controller.system import MemorySystem
+    from repro.cpu.core import OoOCore
+    from repro.workloads.spec2000 import make_benchmark_trace
+
+    monkeypatch.setenv("REPRO_CHECKPOINT", "1")
+    cfg = baseline_config(channels=1, ranks=2, banks=2)
+    cell = ("swim", "Burst_TH", N, SEED, cfg)
+
+    results, _report = runner.run_cells([cell], jobs=1, memo={})
+    stats_ref, core_ref = results[cell]
+    reference = json.dumps(
+        [stats_ref.to_dict(), core_ref.to_dict()], sort_keys=True
+    )
+
+    # Manufacture the interrupted run: step partway, snapshot at the
+    # cell's keyed checkpoint path (exactly what a SIGTERM would do).
+    trace = make_benchmark_trace("swim", N, SEED)
+    core = OoOCore(MemorySystem(cfg, "Burst_TH"), trace)
+    for _ in range(300):
+        if core.done:
+            break
+        core.step()
+    snapshot = runner.checkpoint_path(runner.cell_key(*cell))
+    save_checkpoint(str(snapshot), core)
+
+    # The completed cell resolves from the result cache — no
+    # re-simulation, so the stale snapshot is not even consulted.
+    _results, report = runner.run_cells([cell], jobs=1, memo={})
+    assert report.executed == 0
+    assert report.cached_disk == 1
+    assert snapshot.exists()
+
+    # Wipe the cached result (cache_clear would take the snapshot
+    # with it): the rerun must resume from the snapshot and still
+    # match the uninterrupted reference byte for byte.
+    runner._cache_path(runner.cell_key(*cell)).unlink()
+    import signal
+
+    before = signal.getsignal(signal.SIGTERM)
+    stats, core_result = runner.simulate_cell(*cell)
+    resumed = json.dumps(
+        [stats.to_dict(), core_result.to_dict()], sort_keys=True
+    )
+    assert resumed == reference
+    assert not snapshot.exists()  # deleted after completing
+    # No leaked SIGTERM handler: forked pool workers inherit the
+    # process disposition, and a leaked flag-only handler absorbs
+    # Pool.terminate() forever.
+    assert signal.getsignal(signal.SIGTERM) is before
+
+
+def test_code_version_folds_checkpoint_schema(monkeypatch):
+    """Satellite guarantee: the checkpoint schema version is part of
+    the runner's code-version digest (cell keys orphan old snapshots
+    when the snapshot format changes)."""
+    import repro.checkpoint as checkpoint
+
+    baseline = runner.code_version()
+    monkeypatch.setattr(runner, "_code_version", None)
+    monkeypatch.setattr(
+        checkpoint, "SCHEMA_VERSION", checkpoint.SCHEMA_VERSION + 1
+    )
+    bumped = runner.code_version()
+    monkeypatch.setattr(runner, "_code_version", None)
+    assert bumped != baseline
