@@ -25,6 +25,7 @@ The measured events/sec for both modes and both scenarios land in
 """
 
 import json
+import os
 import pathlib
 import random
 import time
@@ -154,10 +155,15 @@ def test_fast_engine_identical_and_faster(monkeypatch):
     path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\n{json.dumps(payload, indent=2)}\n[saved to {path}]")
 
+    # CI pins a regression floor for the *saturated* matrix via
+    # REPRO_BENCH_MIN_MATRIX (quarter scale: 1.5x).  The default only
+    # guards "not slower" so local runs on loaded machines stay green.
+    matrix_floor = float(os.environ.get("REPRO_BENCH_MIN_MATRIX", "1.0"))
     matrix_speedup = matrix_best["0"] / matrix_best["1"]
-    assert matrix_speedup >= 1.0, (
-        f"fast path is slower than the sequential loop on the "
-        f"saturated matrix ({matrix_best['1']:.2f}s CPU vs "
+    assert matrix_speedup >= matrix_floor, (
+        f"flat-array fast path must be >={matrix_floor}x the "
+        f"sequential loop on the saturated matrix, got "
+        f"{matrix_speedup:.2f}x ({matrix_best['1']:.2f}s CPU vs "
         f"{matrix_best['0']:.2f}s CPU)"
     )
     sparse_speedup = sparse_best["0"] / sparse_best["1"]

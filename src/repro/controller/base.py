@@ -34,6 +34,7 @@ from repro.sim.config import (
     PREDICTIVE,
     SystemConfig,
 )
+from repro.sim import profile as _profile
 from repro.sim.profile import NEVER
 from repro.sim.stats import SimStats
 
@@ -48,6 +49,15 @@ class Scheduler(abc.ABC):
 
     #: Registry name; overridden by subclasses (paper Table 4).
     name = "abstract"
+
+    #: Does a schedule pass read *global* pool state (write occupancy
+    #: thresholds, drain watermarks)?  When False the no-op schedule
+    #: gate ignores ``pool.write_version`` — other channels' write
+    #: traffic cannot change this mechanism's decisions, so the gate
+    #: survives it.  Own-channel material always breaks the gate via
+    #: ``_gate_cmds`` regardless.  Only set False after checking every
+    #: path reachable from ``schedule()`` for pool reads.
+    pool_sensitive = True
 
     def __init__(
         self,
@@ -92,6 +102,16 @@ class Scheduler(abc.ABC):
         #: falls back to a :meth:`next_wakeup` call.
         self._want_hint = False
         self._pass_wake = -1
+        #: Pass-cost profiler hook (None unless ``REPRO_PROFILE=1``):
+        #: flat-path passes count candidates examined vs timing
+        #: recomputations into it (see SimProfiler.sched_candidates).
+        self._prof = _profile.ensure_profiler()
+        # Timing locals for the flat hot paths (attribute chains cost).
+        timing = channel.timing
+        self._tCL = timing.tCL
+        self._tCWL = timing.tCWL
+        self._tRTRS = timing.tRTRS
+        self._tFAW = timing.tFAW
 
     # ------------------------------------------------------------------
     # Enqueue path (paper Figure 4 for burst scheduling; the write-queue
@@ -197,6 +217,84 @@ class Scheduler(abc.ABC):
                 cycle, channel.next_precharge_at(access.rank, access.bank)
             )
         return max(cycle, channel.next_activate_at(access.rank, access.bank))
+
+    def _flat_earliest(self, flat, i: int, access, cycle: int) -> int:
+        """:meth:`earliest_issue_cycle` through the flat mirror's cache.
+
+        Identical result, different cost model: the device-timing part
+        (next command kind + bank/rank readiness — everything that only
+        moves when a command or refresh touches the owning bank/rank)
+        is cached in ``flat.kind[i]``/``flat.core[i]`` under the
+        devices' write-version stamps, so on most passes a candidate is
+        a couple of list reads.  The per-pass parts — WAR blocking and
+        the shared data-bus turnaround, which change with *other*
+        banks' traffic — are recomputed every call.  (The Burst and
+        Intel passes inline this same protocol to fuse it with their
+        selection loops; keep all three in lockstep.)
+        """
+        bank = flat.banks[i]
+        rank = flat.ranks[i]
+        if flat.bstamp[i] == bank.ver and flat.rstamp[i] == rank.ver:
+            kind = flat.kind[i]
+            core = flat.core[i]
+            if self._prof is not None:
+                self._prof.sched_candidates += 1
+                self._prof.sched_bitset_hits += 1
+        else:
+            row = bank.open_row
+            if row == access.row:
+                kind = 1  # column
+                core = bank.ready_column
+                if access.is_read and rank.ready_read > core:
+                    core = rank.ready_read
+            elif row is not None:
+                kind = 2  # precharge
+                core = bank.ready_precharge
+            elif rank.refresh_pending:
+                kind = 3  # activate fenced off until the refresh issues
+                core = NEVER
+            else:
+                kind = 3  # activate
+                core = rank.ready_activate
+                if bank.ready_activate > core:
+                    core = bank.ready_activate
+                tFAW = self._tFAW
+                if tFAW is not None:
+                    times = rank._activate_times
+                    if len(times) == 4 and times[0] + tFAW > core:
+                        core = times[0] + tFAW
+            if rank.refresh_busy_until > core:
+                core = rank.refresh_busy_until
+            flat.kind[i] = kind
+            flat.core[i] = core
+            flat.bstamp[i] = bank.ver
+            flat.rstamp[i] = rank.ver
+            if self._prof is not None:
+                self._prof.sched_candidates += 1
+                self._prof.sched_timing_checks += 1
+        if kind == 1:
+            is_read = access.is_read
+            if not is_read and self._reads_by_addr.get(access.address):
+                return NEVER  # WAR: only the read's completion unblocks
+            channel = self.channel
+            bus_rank = channel._last_data_rank
+            if bus_rank is None:
+                gap = 0
+            elif bus_rank != access.rank:
+                gap = self._tRTRS
+            elif channel._last_data_is_read is not is_read:
+                gap = 1
+            else:
+                gap = 0
+            t = (
+                channel.data_busy_until
+                + gap
+                - (self._tCL if is_read else self._tCWL)
+            )
+            if core > t:
+                t = core
+            return t if t > cycle else cycle
+        return core if core > cycle else cycle
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -16,12 +16,17 @@ from typing import Deque, Optional
 
 from repro.controller.access import MemoryAccess
 from repro.controller.base import COLUMN, Scheduler
+from repro.sim.profile import NEVER
 
 
 class FCFSScheduler(Scheduler):
     """One global FIFO; fully serialised service."""
 
     name = "FCFS"
+
+    #: One global FIFO, no thresholds: a pass never reads the shared
+    #: pool, so the no-op gate survives other channels' writes.
+    pool_sensitive = False
 
     def __init__(self, config, channel, pool, stats) -> None:
         super().__init__(config, channel, pool, stats)
@@ -46,6 +51,31 @@ class FCFSScheduler(Scheduler):
     def _load_mech_state(self, state: dict, ctx) -> None:
         self._queue = deque(ctx.get(r) for r in state["queue"])
         self._ongoing = ctx.get_opt(state["ongoing"])
+
+    def next_wakeup(self, cycle: int) -> int:
+        """Exact wakeup for the fully serialised discipline.
+
+        Safe because a quiet :meth:`schedule` pass leaves one of three
+        frozen states: an ongoing access whose earliest legal cycle is
+        computable (``NEVER`` for a WAR-blocked write, unblocked by the
+        older read's completion in this scheduler's own heap); a queue
+        head whose pop waits for the data bus to drain (the pass this
+        cycle already proved ``data_busy_until > cycle``, and popping
+        later is equivalent — selection is the fixed queue head and the
+        issue thresholds do not depend on when the pop happened); or
+        nothing pending at all.
+        """
+        wake = self._completions[0][0] if self._completions else NEVER
+        access = self._ongoing
+        if access is not None:
+            candidate = self.earliest_issue_cycle(access, cycle)
+        elif self._queue:
+            candidate = self.channel.data_busy_until
+            if candidate <= cycle:
+                candidate = cycle
+        else:
+            return wake
+        return candidate if candidate < wake else wake
 
     def schedule(self, cycle: int) -> None:
         if self._ongoing is None:

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.controller.access import MemoryAccess
 from repro.controller.base import COLUMN, Scheduler
+from repro.controller.flatcore import FlatSlots
 from repro.sim.profile import NEVER
 
 BankKey = Tuple[int, int]
@@ -52,14 +53,36 @@ class IntelScheduler(Scheduler):
         # trails the other reordering mechanisms in execution time.
         self._drain_mode = False
         self._low_watermark = (3 * pool.write_capacity) // 4
+        # Flat mirror of the hot-path state (DESIGN.md §11): slot i is
+        # bank (i // banks_per_rank, i % banks_per_rank).  ``_rq``
+        # marks nonempty read queues, ``_wq_mask``/``_wq_counts`` track
+        # which banks the shared write queue holds writes for, and
+        # ``_wmask`` marks slots whose ongoing access is a write (the
+        # preemption candidates).  Only ``_schedule_flat`` (fast mode)
+        # reads them; the sequential reference path never does.
+        timing = channel.timing
+        self._bpr = channel.banks_per_rank
+        self._tCL = timing.tCL
+        self._tCWL = timing.tCWL
+        self._tRTRS = timing.tRTRS
+        self._tFAW = timing.tFAW
+        self._flat = FlatSlots(channel)
+        self._rq = 0
+        self._wmask = 0
+        self._wq_mask = 0
+        self._wq_counts = [0] * self._flat.n
 
     def _enqueue_read(self, access: MemoryAccess, cycle: int) -> None:
         self._read_queues[access.bank_key()].append(access)
         self._pending += 1
+        self._rq |= 1 << (access.rank * self._bpr + access.bank)
 
     def _enqueue_write(self, access: MemoryAccess, cycle: int) -> None:
         self._write_queue.append(access)
         self._pending += 1
+        slot = access.rank * self._bpr + access.bank
+        self._wq_counts[slot] += 1
+        self._wq_mask |= 1 << slot
 
     def pending_accesses(self) -> int:
         return self._pending
@@ -87,6 +110,42 @@ class IntelScheduler(Scheduler):
             self._ongoing[tuple(key)] = ctx.get_opt(ref)
         self._pending = state["pending"]
         self._drain_mode = state["drain_mode"]
+        self._flat_rebuild()
+
+    # ------------------------------------------------------------------
+    # Flat-mirror maintenance (DESIGN.md §11)
+    # ------------------------------------------------------------------
+
+    def _flat_set(self, slot: int, access: MemoryAccess) -> None:
+        self._flat.install(slot, access)
+        if access.is_write:
+            self._wmask |= 1 << slot
+        else:
+            self._wmask &= ~(1 << slot)
+
+    def _flat_clear(self, slot: int) -> None:
+        self._flat.clear(slot)
+        self._wmask &= ~(1 << slot)
+
+    def _flat_rebuild(self) -> None:
+        """Rebuild the flat mirror from the object model (load path)."""
+        flat = self._flat
+        flat.reset()
+        self._rq = 0
+        self._wmask = 0
+        self._wq_mask = 0
+        self._wq_counts = [0] * flat.n
+        bpr = self._bpr
+        for key, queue in self._read_queues.items():
+            if queue:
+                self._rq |= 1 << (key[0] * bpr + key[1])
+        for access in self._write_queue:
+            slot = access.rank * bpr + access.bank
+            self._wq_counts[slot] += 1
+            self._wq_mask |= 1 << slot
+        for key, access in self._ongoing.items():
+            if access is not None:
+                self._flat_set(key[0] * bpr + key[1], access)
 
     # ------------------------------------------------------------------
     # Access-level selection
@@ -209,6 +268,12 @@ class IntelScheduler(Scheduler):
     # ------------------------------------------------------------------
 
     def schedule(self, cycle: int) -> None:
+        # Fast mode goes through the flat mirror (same selection, same
+        # priorities, property-tested byte-identical); this body is the
+        # readable sequential reference.
+        if self._want_hint:
+            self._schedule_flat(cycle)
+            return
         self._update_ongoing()
         candidates = [a for a in self._ongoing.values() if a is not None]
         if not candidates:
@@ -232,6 +297,238 @@ class IntelScheduler(Scheduler):
                     self._write_queue.remove(access)
                 self._pending -= 1
             return
+
+    def _schedule_flat(self, cycle: int) -> None:
+        """Fast-mode pass over the flat mirror.
+
+        Byte-identical to the sequential body by construction:
+
+        * the refill only visits slots with material and no ongoing
+          access (a bitset), and resolves the shared write queue's
+          head *once* per pass — valid because ``_ongoing[k]`` always
+          targets bank ``k`` (every refill filters on ``bank_key``),
+          so "is the queue head already started" is one identity
+          check, and only the head's own bank can ever receive it;
+        * candidate selection replaces the stable sort + first-
+          issuable scan with a single min over issuable slots of the
+          composed key ``(unstarted, start-or-arrival, slot)`` — the
+          same total order the sort produces, ties resolved by slot
+          exactly as the insertion-ordered candidate list did;
+        * device-timing earliests are cached against bank/rank version
+          stamps; the blocked candidates' min lands in ``_pass_wake``
+          so gate arming needs no separate :meth:`next_wakeup` scan.
+        """
+        # The drain hysteresis folds over the *global* pool occupancy,
+        # which other channels move while this one idles — update it on
+        # every executed pass (the gate's write_version stamp guarantees
+        # a pass runs whenever the count changes), even with nothing
+        # pending, or the stored mode goes stale versus the object path.
+        pool = self.pool
+        if pool.write_queue_full:
+            self._drain_mode = True
+        elif pool.write_count <= self._low_watermark:
+            self._drain_mode = False
+        if not self._pending:
+            self._pass_wake = NEVER
+            return
+        force_writes = self._drain_mode
+        flat = self._flat
+        acc = flat.acc
+        keys = flat.keys
+        ongoing = self._ongoing
+        if self.read_preemption and not force_writes:
+            m = self._wmask & self._rq
+            while m:
+                b = m & -m
+                m ^= b
+                i = b.bit_length() - 1
+                a = acc[i]
+                a.preempted = True
+                self.stats.preemptions += 1
+                ongoing[keys[i]] = None
+                self._flat_clear(i)
+        need = (self._rq | self._wq_mask) & ~flat.occupied
+        if need:
+            if force_writes:
+                # Emergency drain: every bank takes its oldest
+                # drainable write; one queue scan builds them all.
+                drain = None
+                m = need
+                while m:
+                    b = m & -m
+                    m ^= b
+                    i = b.bit_length() - 1
+                    if drain is None:
+                        drain = {}
+                        rba = self._reads_by_addr
+                        bpr = self._bpr
+                        for w in self._write_queue:
+                            slot = w.rank * bpr + w.bank
+                            if slot not in drain and not rba.get(w.address):
+                                drain[slot] = w
+                    selected = drain.get(i)
+                    if selected is None:
+                        selected = self._select_read(keys[i])
+                    if selected is not None:
+                        ongoing[keys[i]] = selected
+                        self._flat_set(i, selected)
+            else:
+                # The shared queue drains in order from its first
+                # non-WAR write; if that write is already started it
+                # blocks the queue for everyone.
+                head = None
+                head_slot = -1
+                rba = self._reads_by_addr
+                for w in self._write_queue:
+                    if not rba.get(w.address):
+                        head = w
+                        break
+                if head is not None:
+                    head_slot = head.rank * self._bpr + head.bank
+                    if ongoing[keys[head_slot]] is head:
+                        head = None
+                        head_slot = -1
+                m = need
+                while m:
+                    b = m & -m
+                    m ^= b
+                    i = b.bit_length() - 1
+                    selected = self._select_read(keys[i])
+                    if selected is None and i == head_slot:
+                        selected = head
+                    if selected is not None:
+                        ongoing[keys[i]] = selected
+                        self._flat_set(i, selected)
+        occ = flat.occupied
+        if not occ:
+            self._pass_wake = NEVER
+            return
+        banks = flat.banks
+        ranks = flat.ranks
+        kinds = flat.kind
+        cores = flat.core
+        bst = flat.bstamp
+        rst = flat.rstamp
+        ready = flat.ready
+        channel = self.channel
+        busy = channel.data_busy_until
+        bus_rank = channel._last_data_rank
+        bus_read = channel._last_data_is_read
+        tCL = self._tCL
+        tCWL = self._tCWL
+        tRTRS = self._tRTRS
+        tFAW = self._tFAW
+        reads_by_addr = self._reads_by_addr
+        vec = flat.use_numpy
+        never = NEVER
+        slot_bits = flat._slot_bits
+        unstarted_bias = 1 << 61
+        best_key = 0
+        best_i = -1
+        wake = never
+        checks = 0
+        m = occ
+        while m:
+            b = m & -m
+            m ^= b
+            i = b.bit_length() - 1
+            a = acc[i]
+            bank = banks[i]
+            rank = ranks[i]
+            if bst[i] == bank.ver and rst[i] == rank.ver:
+                kind = kinds[i]
+                core = cores[i]
+            else:
+                checks += 1
+                row = bank.open_row
+                if row == a.row:
+                    kind = 1  # column
+                    core = bank.ready_column
+                    if a.is_read and rank.ready_read > core:
+                        core = rank.ready_read
+                elif row is not None:
+                    kind = 2  # precharge
+                    core = bank.ready_precharge
+                elif rank.refresh_pending:
+                    kind = 3  # activate fenced off until refresh issues
+                    core = never
+                else:
+                    kind = 3  # activate
+                    core = rank.ready_activate
+                    if bank.ready_activate > core:
+                        core = bank.ready_activate
+                    if tFAW is not None:
+                        times = rank._activate_times
+                        if len(times) == 4 and times[0] + tFAW > core:
+                            core = times[0] + tFAW
+                if rank.refresh_busy_until > core:
+                    core = rank.refresh_busy_until
+                kinds[i] = kind
+                cores[i] = core
+                bst[i] = bank.ver
+                rst[i] = rank.ver
+            if kind == 1:
+                is_read = a.is_read
+                if not is_read and reads_by_addr.get(a.address):
+                    t = never  # WAR: only the read's completion unblocks
+                else:
+                    if bus_rank is None:
+                        gap = 0
+                    elif bus_rank != a.rank:
+                        gap = tRTRS
+                    elif bus_read is not is_read:
+                        gap = 1
+                    else:
+                        gap = 0
+                    t = busy + gap - (tCL if is_read else tCWL)
+                    if core > t:
+                        t = core
+                    if t < cycle:
+                        t = cycle
+            elif core > cycle:
+                t = core
+            else:
+                t = cycle
+            ready[i] = t
+            if t <= cycle:
+                sc = a.start_cycle
+                if sc is None:
+                    k = unstarted_bias | (a.arrival << slot_bits) | i
+                else:
+                    k = (sc << slot_bits) | i
+                if best_i < 0 or k < best_key:
+                    best_key = k
+                    best_i = i
+            elif not vec and t < wake:
+                wake = t
+        prof = self._prof
+        if prof is not None:
+            n = bin(occ).count("1")
+            prof.sched_candidates += n
+            prof.sched_timing_checks += checks
+            prof.sched_bitset_hits += n - checks
+        if best_i < 0:
+            self._pass_wake = flat.min_ready() if vec else wake
+            return
+        i = best_i
+        a = acc[i]
+        kind = self.issue_for(a, cycle)
+        if kind is COLUMN:
+            key = keys[i]
+            ongoing[key] = None
+            self._flat_clear(i)
+            if a.is_read:
+                queue = self._read_queues[key]
+                queue.remove(a)
+                if not queue:
+                    self._rq &= ~(1 << i)
+            else:
+                self._write_queue.remove(a)
+                count = self._wq_counts[i] - 1
+                self._wq_counts[i] = count
+                if not count:
+                    self._wq_mask &= ~(1 << i)
+            self._pending -= 1
 
 
 __all__ = ["IntelScheduler"]

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.controller.access import MemoryAccess
 from repro.controller.base import COLUMN, Scheduler
+from repro.controller.flatcore import FlatSlots
 from repro.sim.profile import NEVER
 
 BankKey = Tuple[int, int]
@@ -23,6 +24,11 @@ class RowHitScheduler(Scheduler):
     """Oldest row hit first within a bank, round robin between banks."""
 
     name = "RowHit"
+
+    #: Selection (oldest hit to the live open row, WAR guard) reads
+    #: only own-channel state; the shared pool never influences a
+    #: pass, so the no-op gate survives other channels' writes.
+    pool_sensitive = False
 
     def __init__(self, config, channel, pool, stats) -> None:
         super().__init__(config, channel, pool, stats)
@@ -36,13 +42,22 @@ class RowHitScheduler(Scheduler):
         self._bank_keys: List[BankKey] = list(self._queues)
         self._rr = 0
         self._pending = 0
+        # Flat mirror of _ongoing plus a nonempty-queue bitset: the
+        # fast pass keeps the sequential fill-on-visit order (the
+        # selection reads live open-row state) but skips empty banks
+        # wholesale and stamp-caches each ongoing access's timing.
+        self._flat = FlatSlots(channel)
+        self._bpr = channel.banks_per_rank
+        self._occq = 0
 
     def _enqueue_read(self, access: MemoryAccess, cycle: int) -> None:
         self._queues[access.bank_key()].append(access)
+        self._occq |= 1 << (access.rank * self._bpr + access.bank)
         self._pending += 1
 
     def _enqueue_write(self, access: MemoryAccess, cycle: int) -> None:
         self._queues[access.bank_key()].append(access)
+        self._occq |= 1 << (access.rank * self._bpr + access.bank)
         self._pending += 1
 
     def pending_accesses(self) -> int:
@@ -69,6 +84,16 @@ class RowHitScheduler(Scheduler):
             self._ongoing[tuple(key)] = ctx.get_opt(ref)
         self._rr = state["rr"]
         self._pending = state["pending"]
+        # Deterministic flat rebuild (the mirror is never serialized).
+        flat = self._flat
+        flat.reset()
+        self._occq = 0
+        for slot, key in enumerate(self._bank_keys):
+            if self._queues[key]:
+                self._occq |= 1 << slot
+            access = self._ongoing[key]
+            if access is not None:
+                flat.bind(slot, access)
 
     # ------------------------------------------------------------------
     # Selection: the "row hit first" policy
@@ -119,6 +144,9 @@ class RowHitScheduler(Scheduler):
         return wake
 
     def schedule(self, cycle: int) -> None:
+        if self._want_hint:
+            self._schedule_flat(cycle)
+            return
         keys = self._bank_keys
         n = len(keys)
         for offset in range(n):
@@ -130,15 +158,75 @@ class RowHitScheduler(Scheduler):
                 if ongoing is None:
                     continue
                 self._ongoing[key] = ongoing
+                self._flat.bind(index, ongoing)
             if not self.can_issue_access(ongoing, cycle):
                 continue
             kind = self.issue_for(ongoing, cycle)
             if kind is COLUMN:
-                self._queues[key].remove(ongoing)
+                queue = self._queues[key]
+                queue.remove(ongoing)
                 self._ongoing[key] = None
+                self._flat.clear(index)
+                if not queue:
+                    self._occq &= ~(1 << index)
                 self._pending -= 1
                 self._rr = (index + 1) % n
             return
+
+    def _schedule_flat(self, cycle: int) -> None:
+        """Fast-mode pass: same fill-on-visit scan over a bitset.
+
+        Byte-identical to the sequential body: nonempty banks are
+        visited in the same rotated round-robin order (``_select`` must
+        run *during* the scan — it reads live open-row state — so only
+        the empty-bank skips and the stamp-cached timing differ).  An
+        ongoing access always sits in its own bank's queue, so the
+        nonempty-queue bitset covers every bank the object path would
+        consider.  A no-issue scan leaves the blocked candidates' min
+        in ``_pass_wake``; banks whose material is entirely WAR-blocked
+        contribute nothing — only their older reads' completions (in
+        this scheduler's own heap) can unblock them.
+        """
+        occq = self._occq
+        if not occq:
+            self._pass_wake = NEVER
+            return
+        flat = self._flat
+        acc = flat.acc
+        keys = flat.keys
+        rr = self._rr
+        wake = NEVER
+        high = occq >> rr << rr  # slots >= rr, then the wrapped rest
+        for m in (high, occq ^ high):
+            while m:
+                b = m & -m
+                m ^= b
+                i = b.bit_length() - 1
+                ongoing = acc[i]
+                if ongoing is None:
+                    ongoing = self._select(keys[i])
+                    if ongoing is None:
+                        continue
+                    self._ongoing[keys[i]] = ongoing
+                    flat.bind(i, ongoing)
+                t = self._flat_earliest(flat, i, ongoing, cycle)
+                if t > cycle:
+                    if t < wake:
+                        wake = t
+                    continue
+                kind = self.issue_for(ongoing, cycle)
+                if kind is COLUMN:
+                    key = keys[i]
+                    queue = self._queues[key]
+                    queue.remove(ongoing)
+                    self._ongoing[key] = None
+                    flat.clear(i)
+                    if not queue:
+                        self._occq &= ~b
+                    self._pending -= 1
+                    self._rr = (i + 1) % flat.n
+                return
+        self._pass_wake = wake
 
 
 __all__ = ["RowHitScheduler"]

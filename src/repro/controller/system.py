@@ -61,6 +61,17 @@ class MemorySystem:
                 factory(config, channel, self.pool, self.stats)
             )
         self.mechanism_name = self.schedulers[0].name
+        #: (scheduler, channel, refresher, pool_sensitive) tuples,
+        #: zipped once — the tick loop runs per simulated cycle and per
+        #: channel, so even the three list indexings were measurable.
+        #: ``pool_sensitive`` is hoisted so the gate check skips the
+        #: write-version comparison for mechanisms the pool can't sway.
+        self._units = [
+            (s, c, r, s.pool_sensitive)
+            for s, c, r in zip(
+                self.schedulers, self.channels, self.refreshers
+            )
+        ]
         self.cycle = 0
         #: Did the most recent tick issue a command or deliver data?
         #: The next-event run loops only consider skipping after a
@@ -82,7 +93,11 @@ class MemorySystem:
         #: the 1-3 dead cycles between commands in a burst) raise the
         #: bar, a productive one drops it back — so dense phases pay
         #: almost nothing and idle phases arm almost immediately.
-        self._arm_after = 2
+        #: With the armed-gate reuse in :meth:`next_event_cycle` a scan
+        #: costs a handful of comparisons, so the bar starts at 1 and
+        #: stays low — even the 1-3 dead cycles inside a command burst
+        #: are worth leaping now that finding them is nearly free.
+        self._arm_after = 1
         self._fastfwd = profile.fastfwd_enabled()
         #: REPRO_PROFILE observability (None when profiling is off).
         self._profiler = profile.ensure_profiler()
@@ -150,10 +165,7 @@ class MemorySystem:
         fast = self._fastfwd
         completed: List[MemoryAccess] = []
         active = False
-        for channel_index in range(len(self.channels)):
-            scheduler = self.schedulers[channel_index]
-            channel = self.channels[channel_index]
-            refresher = self.refreshers[channel_index]
+        for scheduler, channel, refresher, pool_sens in self._units:
             if fast and cycle < refresher.idle_until:
                 refreshed = False
             else:
@@ -161,11 +173,12 @@ class MemorySystem:
             if not refreshed:
                 # Frozen: nothing this scheduler can see changed since
                 # its stamps were recorded (no own-channel command, no
-                # shared write-side pool change; own enqueues and read
-                # completions clear _gate_cmds directly).
-                frozen = (
-                    scheduler._gate_cmds == channel.cmd_bus_cycles
-                    and scheduler._gate_pool == pool.write_version
+                # shared write-side pool change for mechanisms that
+                # read the pool; own enqueues and read completions
+                # clear _gate_cmds directly).
+                frozen = scheduler._gate_cmds == channel.cmd_bus_cycles and (
+                    not pool_sens
+                    or scheduler._gate_pool == pool.write_version
                 )
                 if frozen and scheduler._gate_until > cycle:
                     pass  # proven no-op schedule pass
@@ -187,10 +200,14 @@ class MemorySystem:
                         scheduler._gate_pool = pool.write_version
             if channel.last_command_cycle == cycle:
                 active = True
-            done = scheduler.pop_completions(cycle)
-            if done:
-                completed.extend(done)
-                active = True
+            # Same check pop_completions starts with, without the call:
+            # on most cycles the heap head is not due yet.
+            heap = scheduler._completions
+            if heap and heap[0][0] <= cycle:
+                done = scheduler.pop_completions(cycle)
+                if done:
+                    completed.extend(done)
+                    active = True
         # Per-cycle sampling for the outstanding-access distributions
         # (Figures 8/11) and the saturation metrics (§5.1).
         stats.outstanding_reads.add(self.pool.read_count)
@@ -229,10 +246,7 @@ class MemorySystem:
         fast = self._fastfwd
         completed: List[MemoryAccess] = []
         active = False
-        for channel_index in range(len(self.channels)):
-            scheduler = self.schedulers[channel_index]
-            channel = self.channels[channel_index]
-            refresher = self.refreshers[channel_index]
+        for scheduler, channel, refresher, pool_sens in self._units:
             t0 = perf_counter()
             if fast and cycle < refresher.idle_until:
                 refreshed = False
@@ -241,9 +255,9 @@ class MemorySystem:
             t1 = perf_counter()
             prof.add_time("refresh", t1 - t0)
             if not refreshed:
-                frozen = (
-                    scheduler._gate_cmds == channel.cmd_bus_cycles
-                    and scheduler._gate_pool == pool.write_version
+                frozen = scheduler._gate_cmds == channel.cmd_bus_cycles and (
+                    not pool_sens
+                    or scheduler._gate_pool == pool.write_version
                 )
                 if frozen and scheduler._gate_until > cycle:
                     prof.gated_passes += 1
@@ -263,12 +277,14 @@ class MemorySystem:
             if channel.last_command_cycle == cycle:
                 active = True
                 prof.commands += 1
-            done = scheduler.pop_completions(cycle)
-            prof.add_time("completions", perf_counter() - t1)
-            if done:
-                completed.extend(done)
-                active = True
-                prof.completions += len(done)
+            heap = scheduler._completions
+            if heap and heap[0][0] <= cycle:
+                done = scheduler.pop_completions(cycle)
+                prof.add_time("completions", perf_counter() - t1)
+                if done:
+                    completed.extend(done)
+                    active = True
+                    prof.completions += len(done)
         t0 = perf_counter()
         stats.outstanding_reads.add(self.pool.read_count)
         stats.outstanding_writes.add(self.pool.write_count)
@@ -310,24 +326,50 @@ class MemorySystem:
         """
         if self._quiet_until > cycle:
             return self._quiet_until
+        stats = self.stats
         self._quiet_streak += 1
         if self._quiet_streak < self._arm_after:
+            stats.lookout_throttled += 1
             return cycle  # throttled: keep single-stepping
         self._quiet_streak = 0
+        pool = self.pool
         wake = NEVER
-        for refresher in self.refreshers:
+        for scheduler, channel, refresher, pool_sens in self._units:
             candidate = refresher.next_wakeup(cycle)
             if candidate < wake:
                 wake = candidate
-        for scheduler in self.schedulers:
-            candidate = scheduler.next_wakeup(cycle)
+            if (
+                scheduler._gate_until > cycle
+                and scheduler._gate_cmds == channel.cmd_bus_cycles
+                and (
+                    not pool_sens
+                    or scheduler._gate_pool == pool.write_version
+                )
+            ):
+                # The no-op gate is armed and its stamps still hold, so
+                # the scheduler's state is frozen exactly as when the
+                # gate was computed — reuse that wake instead of a
+                # fresh next_wakeup scan.  _gate_until may come from a
+                # completion-blind _pass_wake hint, so fold the heap
+                # head in (a min with a next_wakeup-derived gate is
+                # idempotent: it already included the head, and while
+                # frozen no command can have pushed a new one).
+                candidate = scheduler._gate_until
+                heap = scheduler._completions
+                if heap and heap[0][0] < candidate:
+                    candidate = heap[0][0]
+            else:
+                candidate = scheduler.next_wakeup(cycle)
             if candidate < wake:
                 wake = candidate
         self._quiet_until = wake
-        if wake - cycle >= 3:
-            self._arm_after = 2
-        elif self._arm_after < 16:
-            self._arm_after += 2
+        if wake - cycle >= 2:
+            stats.lookout_hits += 1
+            self._arm_after = 1
+        else:
+            stats.lookout_misses += 1
+            if self._arm_after < 4:
+                self._arm_after += 1
         return wake
 
     def skip_to(self, target: int) -> None:
@@ -413,7 +455,7 @@ class MemorySystem:
         self._tick_active = False
         self._quiet_until = -1
         self._quiet_streak = 0
-        self._arm_after = 2
+        self._arm_after = 1
 
     # ------------------------------------------------------------------
     # Run-state inspection

@@ -32,7 +32,13 @@ from repro.errors import SchedulerError
 
 
 class DynamicThresholdBurstScheduler(BurstScheduler):
-    """Burst_TH whose threshold tracks the read/write ratio."""
+    """Burst_TH whose threshold tracks the read/write ratio.
+
+    Inherits the flat-array fast pass unchanged: ``threshold`` is read
+    afresh on every schedule pass, and it only moves inside the enqueue
+    hooks below — which break the no-op schedule gate — so a retune can
+    never be skipped over by the next-event engine.
+    """
 
     name = "Burst_DYN"
 

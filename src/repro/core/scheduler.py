@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.controller.access import MemoryAccess
 from repro.controller.base import COLUMN, Scheduler
+from repro.controller.flatcore import FlatSlots
 from repro.core.burst import BurstQueue
 from repro.sim.profile import NEVER
 
@@ -98,6 +99,24 @@ class BurstScheduler(Scheduler):
         # which is what drives its write queue to saturate 46% of the
         # time on swim.
         self._outstanding_reads = 0
+        # Flat mirror of the hot-path state (DESIGN.md §11): slot i is
+        # bank ``_bank_keys[i]``; ``_mat``/``_rq`` mirror _active_keys
+        # and the nonempty read queues as bitsets, ``_wmask`` marks
+        # slots whose ongoing access is a write (the RP candidates),
+        # and ``_flat`` caches each ongoing access's next transaction
+        # kind + device-timing earliest against Bank/Rank version
+        # stamps.  Only ``_schedule_flat`` (fast mode) reads them; the
+        # sequential reference path below never does.
+        timing = channel.timing
+        self._bpr = channel.banks_per_rank
+        self._tCL = timing.tCL
+        self._tCWL = timing.tCWL
+        self._tRTRS = timing.tRTRS
+        self._tFAW = timing.tFAW
+        self._flat = FlatSlots(channel)
+        self._mat = 0
+        self._rq = 0
+        self._wmask = 0
 
     # ------------------------------------------------------------------
     # Variant factories (paper Table 4)
@@ -163,12 +182,16 @@ class BurstScheduler(Scheduler):
         self._active_keys.add(key)
         self._pending += 1
         self._outstanding_reads += 1
+        bit = 1 << (access.rank * self._bpr + access.bank)
+        self._mat |= bit
+        self._rq |= bit
 
     def _enqueue_write(self, access: MemoryAccess, cycle: int) -> None:
         key = access.bank_key()
         self._write_queues[key].append(access)
         self._active_keys.add(key)
         self._pending += 1
+        self._mat |= 1 << (access.rank * self._bpr + access.bank)
 
     def pending_accesses(self) -> int:
         return self._pending
@@ -229,6 +252,7 @@ class BurstScheduler(Scheduler):
         self._pending = state["pending"]
         self._outstanding_reads = state["outstanding_reads"]
         self.threshold = state["threshold"]
+        self._flat_rebuild()
 
     # ------------------------------------------------------------------
     # Bank arbiter subroutine (Figure 5)
@@ -326,6 +350,8 @@ class BurstScheduler(Scheduler):
     def _retire_column(self, key: BankKey, access: MemoryAccess) -> None:
         """Drop an access from its queue once its data is scheduled."""
         self._ongoing[key] = None
+        slot = key[0] * self._bpr + key[1]
+        self._flat_clear(slot)
         self._pending -= 1
         if access.is_read:
             queue = self._read_queues[key]
@@ -333,6 +359,8 @@ class BurstScheduler(Scheduler):
             if ended:
                 self._end_of_burst[key] = True
                 self.stats.burst_sizes.add(queue.last_completed_size)
+            if not queue:
+                self._rq &= ~(1 << slot)
         else:
             # A completed write leaves the bank at a burst boundary;
             # further row-hit writes may keep piggybacking (§3.2).
@@ -340,6 +368,46 @@ class BurstScheduler(Scheduler):
             self._end_of_burst[key] = True
         if not self._read_queues[key] and not self._write_queues[key]:
             self._active_keys.discard(key)
+            self._mat &= ~(1 << slot)
+
+    # ------------------------------------------------------------------
+    # Flat-mirror maintenance (DESIGN.md §11)
+    # ------------------------------------------------------------------
+
+    def _flat_set(self, slot: int, access: MemoryAccess) -> None:
+        """Bind ``access`` as slot's ongoing candidate in the mirror."""
+        self._flat.install(slot, access)
+        if access.is_write:
+            self._wmask |= 1 << slot
+        else:
+            self._wmask &= ~(1 << slot)
+
+    def _flat_clear(self, slot: int) -> None:
+        self._flat.clear(slot)
+        self._wmask &= ~(1 << slot)
+
+    def _flat_rebuild(self) -> None:
+        """Rebuild the flat mirror from the object model.
+
+        The mirror is a pure cache over the authoritative queues, so
+        checkpoints do not serialize it; restoring the queues and
+        rebuilding is deterministic (and the only load-order-free way
+        to restore version-stamped caches).
+        """
+        self._flat.reset()
+        self._mat = 0
+        self._rq = 0
+        self._wmask = 0
+        bpr = self._bpr
+        for key in self._active_keys:
+            self._mat |= 1 << (key[0] * bpr + key[1])
+        for key in self._bank_keys:
+            slot = key[0] * bpr + key[1]
+            if self._read_queues[key]:
+                self._rq |= 1 << slot
+            access = self._ongoing[key]
+            if access is not None:
+                self._flat_set(slot, access)
 
     def next_wakeup(self, cycle: int) -> int:
         """Exact wakeup: the earliest any ongoing access can issue.
@@ -367,6 +435,14 @@ class BurstScheduler(Scheduler):
         return wake
 
     def schedule(self, cycle: int) -> None:
+        # Fast mode goes through the flat mirror: same arbiter, same
+        # priorities, O(set bits) instead of O(banks) with cached
+        # timing.  The sequential reference body below is the
+        # readable, object-walking statement of Table 2 / Figure 6
+        # that the flat pass is property-tested against.
+        if self._want_hint and self.use_priority_table:
+            self._schedule_flat(cycle)
+            return
         if not self._pending:
             self._pass_wake = NEVER
             return  # nothing queued or ongoing anywhere
@@ -380,36 +456,19 @@ class BurstScheduler(Scheduler):
             return
 
         # Gather each bank's ongoing access with its next transaction
-        # kind and unblocked status.  When the engine asks for a hint
-        # (fast mode) each candidate is judged by its earliest legal
-        # cycle — the exact mirror of ``can_issue_access``
-        # (``earliest <= cycle`` iff issuable, property-tested) — so a
-        # blocked candidate's timestamp both decides it and feeds the
-        # min that arms the no-op schedule gate without a separate
-        # ``next_wakeup`` scan.  The sequential reference loop keeps
-        # the short-circuiting predicate.
+        # kind and unblocked status (paper §3.3).
         ongoing = self._ongoing
         unblocked: List[Tuple[BankKey, MemoryAccess, str]] = []
-        hint = self._want_hint
-        wake = NEVER
         for key in self._bank_keys:
             if key not in active:
                 continue
             access = ongoing[key]
             if access is None:
                 continue
-            if hint:
-                t = self.earliest_issue_cycle(access, cycle)
-                if t <= cycle:
-                    unblocked.append(
-                        (key, access, self.next_command_kind(access))
-                    )
-                elif t < wake:
-                    wake = t
-            elif self.can_issue_access(access, cycle):
+            if self.can_issue_access(access, cycle):
                 unblocked.append((key, access, self.next_command_kind(access)))
         if not unblocked:
-            self._pass_wake = wake if hint else -1
+            self._pass_wake = -1
             # Figure 6 lines 14-15: point the scheduler at the bank
             # holding the oldest ongoing access so its rank is favoured
             # next cycle.
@@ -456,6 +515,187 @@ class BurstScheduler(Scheduler):
         key, access, _ = min(unblocked, key=age)
         self._issue_and_retire(key, access, cycle)
 
+    def _schedule_flat(self, cycle: int) -> None:
+        """Fast-mode transaction scheduler over the flat mirror.
+
+        Semantically identical to the sequential body of
+        :meth:`schedule` — same Figure 5 arbiter, same Table 2 /
+        Figure 6 priorities, property-tested byte-identical — but:
+
+        * the arbiter runs only for slots it can actually change
+          (no ongoing access, or a preemptible write-ongoing slot with
+          queued reads while RP is armed);
+        * each candidate's earliest-issue cycle reuses the cached
+          device-timing part unless the owning bank/rank ``ver`` stamp
+          moved (the per-pass parts — data bus, WAR — are recomputed
+          always, they change without any bank/rank mutation);
+        * ``earliest <= cycle`` classifies candidates into column /
+          overhead bitsets, and the priority picks resolve through the
+          age matrix instead of ``min()`` over tuples;
+        * the min of blocked candidates' earliests lands in
+          ``_pass_wake`` (vectorized via :meth:`FlatSlots.min_ready`
+          on wide channels), arming the schedule gate exactly.
+        """
+        if not self._pending:
+            self._pass_wake = NEVER
+            return
+        flat = self._flat
+        acc = flat.acc
+        keys = flat.keys
+        ongoing = self._ongoing
+        # Figure 5 arbiter, restricted to the slots it can change.
+        need = self._mat & ~flat.occupied
+        if self.read_preemption and self.pool.write_count < self.threshold:
+            need |= self._wmask & self._rq
+        while need:
+            b = need & -need
+            need ^= b
+            i = b.bit_length() - 1
+            key = keys[i]
+            self._arbitrate(key, cycle)
+            a = ongoing[key]
+            if a is not acc[i]:
+                if a is None:
+                    self._flat_clear(i)
+                else:
+                    self._flat_set(i, a)
+        occ = flat.occupied
+        banks = flat.banks
+        ranks = flat.ranks
+        kinds = flat.kind
+        cores = flat.core
+        bst = flat.bstamp
+        rst = flat.rstamp
+        ready = flat.ready
+        channel = self.channel
+        busy = channel.data_busy_until
+        bus_rank = channel._last_data_rank
+        bus_read = channel._last_data_is_read
+        tCL = self._tCL
+        tCWL = self._tCWL
+        tRTRS = self._tRTRS
+        tFAW = self._tFAW
+        reads_by_addr = self._reads_by_addr
+        vec = flat.use_numpy
+        never = NEVER
+        col_mask = 0
+        ovh_mask = 0
+        wake = never
+        oldest_i = -1
+        oldest_arr = 0
+        checks = 0
+        m = occ
+        while m:
+            b = m & -m
+            m ^= b
+            i = b.bit_length() - 1
+            a = acc[i]
+            bank = banks[i]
+            rank = ranks[i]
+            if bst[i] == bank.ver and rst[i] == rank.ver:
+                kind = kinds[i]
+                core = cores[i]
+            else:
+                checks += 1
+                row = bank.open_row
+                if row == a.row:
+                    kind = 1  # column
+                    core = bank.ready_column
+                    if a.is_read and rank.ready_read > core:
+                        core = rank.ready_read
+                elif row is not None:
+                    kind = 2  # precharge
+                    core = bank.ready_precharge
+                elif rank.refresh_pending:
+                    kind = 3  # activate fenced off until refresh issues
+                    core = never
+                else:
+                    kind = 3  # activate
+                    core = rank.ready_activate
+                    if bank.ready_activate > core:
+                        core = bank.ready_activate
+                    if tFAW is not None:
+                        times = rank._activate_times
+                        if len(times) == 4 and times[0] + tFAW > core:
+                            core = times[0] + tFAW
+                if rank.refresh_busy_until > core:
+                    core = rank.refresh_busy_until
+                kinds[i] = kind
+                cores[i] = core
+                bst[i] = bank.ver
+                rst[i] = rank.ver
+            if kind == 1:
+                is_read = a.is_read
+                if not is_read and reads_by_addr.get(a.address):
+                    t = never  # WAR: only the read's completion unblocks
+                else:
+                    if bus_rank is None:
+                        gap = 0
+                    elif bus_rank != a.rank:
+                        gap = tRTRS
+                    elif bus_read is not is_read:
+                        gap = 1
+                    else:
+                        gap = 0
+                    t = busy + gap - (tCL if is_read else tCWL)
+                    if core > t:
+                        t = core
+                    if t < cycle:
+                        t = cycle
+            elif core > cycle:
+                t = core
+            else:
+                t = cycle
+            ready[i] = t
+            if t <= cycle:
+                if kind == 1:
+                    col_mask |= b
+                else:
+                    ovh_mask |= b
+            elif not vec and t < wake:
+                wake = t
+            arr = a.arrival
+            if oldest_i < 0 or arr < oldest_arr:
+                oldest_i = i
+                oldest_arr = arr
+        prof = self._prof
+        if prof is not None:
+            n = bin(occ).count("1")
+            prof.sched_candidates += n
+            prof.sched_timing_checks += checks
+            prof.sched_bitset_hits += n - checks
+        if not (col_mask | ovh_mask):
+            self._pass_wake = flat.min_ready() if vec else wake
+            # Figure 6 lines 14-15: favour the oldest ongoing access's
+            # bank/rank next cycle.
+            if oldest_i >= 0:
+                key = keys[oldest_i]
+                self._last_bank = key
+                self._last_rank = key[0]
+            return
+        # 1: unblocked column access in the last bank.
+        last_bank = self._last_bank
+        if last_bank is not None:
+            i = last_bank[0] * self._bpr + last_bank[1]
+            if col_mask & (1 << i):
+                self._issue_and_retire(last_bank, acc[i], cycle)
+                return
+        # 2: oldest unblocked column access in the last rank.
+        last_rank = self._last_rank
+        if last_rank is not None:
+            pick = col_mask & flat.rank_mask[last_rank]
+            if pick:
+                i = flat.oldest(pick)
+                self._issue_and_retire(keys[i], acc[i], cycle)
+                return
+        # 3: oldest unblocked precharge or row activate (no data bus).
+        if ovh_mask:
+            i = flat.oldest(ovh_mask)
+            self._issue_and_retire(keys[i], acc[i], cycle)
+            return
+        # 4: oldest unblocked column access in other ranks.
+        i = flat.oldest(col_mask)
+        self._issue_and_retire(keys[i], acc[i], cycle)
 
     def _schedule_naive(self, cycle: int) -> None:
         """Ablation: naive round-robin transaction issue.

@@ -46,6 +46,12 @@ class Bank:
         self.ready_activate = 0
         self.ready_column = 0
         self.ready_precharge = 0
+        #: Write-version stamp: bumped on every state mutation, so the
+        #: schedulers' flat-array caches (DESIGN.md §11) can tell a
+        #: cached earliest-issue value is still valid without re-reading
+        #: any of the fields above.  Monotonic within a process; not
+        #: serialized (caches rebuild from scratch on checkpoint load).
+        self.ver = 0
         # Statistics consumed by the analysis layer.
         self.activate_count = 0
         self.precharge_count = 0
@@ -123,6 +129,7 @@ class Bank:
         self.activate_count = state["activate_count"]
         self.precharge_count = state["precharge_count"]
         self.column_count = state["column_count"]
+        self.ver += 1  # loaded fields invalidate any cached view
 
     # ------------------------------------------------------------------
     # Command application
@@ -141,6 +148,7 @@ class Bank:
         self.ready_column = cycle + t.tRCD
         self.ready_precharge = cycle + t.tRAS
         self.ready_activate = cycle + t.tRC
+        self.ver += 1
         self.activate_count += 1
 
     def column(
@@ -168,6 +176,7 @@ class Bank:
         else:
             pre = cycle + t.write_to_precharge
         self.ready_precharge = max(self.ready_precharge, pre)
+        self.ver += 1
         self.column_count += 1
         if auto_precharge:
             self.state = BankState.IDLE
@@ -189,6 +198,7 @@ class Bank:
         self.ready_activate = max(
             self.ready_activate, cycle + self.timing.tRP
         )
+        self.ver += 1
         self.precharge_count += 1
 
     def apply_refresh(self, done_cycle: int) -> None:
@@ -198,6 +208,7 @@ class Bank:
                 f"bank {self.index}: refresh with open row {self.open_row}"
             )
         self.ready_activate = max(self.ready_activate, done_cycle)
+        self.ver += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

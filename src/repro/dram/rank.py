@@ -34,6 +34,13 @@ class Rank:
         self.ready_activate = 0          # tRRD / post-refresh gate
         self.ready_read = 0              # tWTR gate
         self._activate_times: Deque[int] = deque(maxlen=4)
+        #: Write-version stamp for the rank-wide gates above (and
+        #: ``refresh_pending`` below): bumped on every mutation so the
+        #: schedulers' flat-array caches can validate cached
+        #: earliest-issue values without re-reading any rank state.
+        #: The refresh controller bumps it when it flips
+        #: ``refresh_pending``.  Not serialized (caches rebuild).
+        self.ver = 0
         self.refresh_count = 0
         self.refresh_busy_until = 0
         #: Set by the refresh controller while a REFRESH is due: new
@@ -146,6 +153,7 @@ class Rank:
         self.refresh_count = state["refresh_count"]
         self.refresh_busy_until = state["refresh_busy_until"]
         self.refresh_pending = state["refresh_pending"]
+        self.ver += 1  # loaded fields invalidate any cached view
 
     # ------------------------------------------------------------------
     # Application
@@ -162,6 +170,7 @@ class Rank:
             self.ready_activate, cycle + self.timing.tRRD
         )
         self._activate_times.append(cycle)
+        self.ver += 1
 
     def column(
         self,
@@ -184,6 +193,7 @@ class Rank:
         else:
             data_end = cycle + t.tCWL + t.data_cycles
             self.ready_read = max(self.ready_read, data_end + t.tWTR)
+            self.ver += 1  # tWTR gate moved: rank-wide read candidates stale
         return data_end
 
     def precharge(self, cycle: int, bank: int) -> None:
@@ -201,6 +211,7 @@ class Rank:
         self.ready_activate = max(self.ready_activate, done)
         self.refresh_busy_until = done
         self.refresh_count += 1
+        self.ver += 1
         return done
 
     def open_row(self, bank: int) -> Optional[int]:

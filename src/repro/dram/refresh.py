@@ -118,13 +118,19 @@ class RefreshController:
         rank = channel.ranks[rank_index]
         # Block new activates to the rank until its refresh issues, so
         # a steady access stream cannot re-open banks forever and
-        # starve the refresh past its tREFI deadline.
-        rank.refresh_pending = True
+        # starve the refresh past its tREFI deadline.  The version
+        # stamp bumps only on the actual flip (this runs every due
+        # cycle) so the schedulers' flat caches are invalidated exactly
+        # when ``next_activate_ready`` changes answer.
+        if not rank.refresh_pending:
+            rank.refresh_pending = True
+            rank.ver += 1
         if rank.all_banks_idle():
             refresh = Command(CommandType.REFRESH, rank_index, 0)
             if channel.can_issue(refresh, cycle):
                 channel.issue(refresh, cycle)
                 rank.refresh_pending = False
+                rank.ver += 1
                 assert channel.timing.tREFI is not None
                 self._due[rank_index] += channel.timing.tREFI
                 self._min_due = min(self._due)

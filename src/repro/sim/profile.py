@@ -59,6 +59,16 @@ class SimProfiler:
         #: (ticked cycles where a scheduler provably had nothing new
         #: to decide — see Scheduler._gate_until).
         self.gated_passes = 0
+        #: Flat-path pass-cost breakdown (DESIGN.md §11): candidates
+        #: examined across all schedule passes, how many needed a
+        #: device-timing recomputation (``sched_timing_checks`` —
+        #: the owning bank/rank version stamp had moved) and how many
+        #: short-circuited on the cached value
+        #: (``sched_bitset_hits``).  Together they make the
+        #: O(set bits) claim measurable rather than asserted.
+        self.sched_candidates = 0
+        self.sched_timing_checks = 0
+        self.sched_bitset_hits = 0
         #: Wall seconds per simulator component (schedule / refresh /
         #: completions / sampling), measured inside MemorySystem.tick.
         self.component_seconds: Dict[str, float] = {}
@@ -95,6 +105,9 @@ class SimProfiler:
             "commands": self.commands,
             "completions": self.completions,
             "gated_passes": self.gated_passes,
+            "sched_candidates": self.sched_candidates,
+            "sched_timing_checks": self.sched_timing_checks,
+            "sched_bitset_hits": self.sched_bitset_hits,
             "events": events,
             "events_per_sec": events / wall if wall > 0 else 0.0,
             "component_seconds": dict(
@@ -124,6 +137,18 @@ class SimProfiler:
                 f"  events/sec {data['events_per_sec']:.0f}"
             ),
         ]
+        candidates = data["sched_candidates"]
+        if candidates:
+            hits = data["sched_bitset_hits"]
+            lines.insert(
+                3,
+                (
+                    f"sched candidates {candidates}"
+                    f"  timing checks {data['sched_timing_checks']}"
+                    f"  cached {hits}"
+                    f" ({100.0 * hits / candidates:.1f}% short-circuit)"
+                ),
+            )
         for component, seconds in data["component_seconds"].items():
             lines.append(f"  {component.ljust(12)} {seconds:.3f}s")
         return "\n".join(lines)

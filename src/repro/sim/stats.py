@@ -188,6 +188,19 @@ class SimStats:
         default_factory=dict
     )
 
+    def __post_init__(self) -> None:
+        # Next-event lookout diagnostics (deliberately NOT dataclass
+        # fields): how often the adaptive streak throttle suppressed a
+        # next_event_cycle scan, and how scans split into productive
+        # windows (>= 3 cycles, resets the arming bar) versus short
+        # ones (raises it).  Engine bookkeeping, not simulation
+        # results — keeping them out of the field set keeps them out
+        # of to_dict()/report(), so checkpoints and cached results
+        # stay byte-identical whether or not fast-forward ran.
+        self.lookout_throttled = 0
+        self.lookout_hits = 0
+        self.lookout_misses = 0
+
     #: Plain integer counters (everything that is not a nested
     #: accumulator); drives merge and serialization uniformly.
     _COUNTER_FIELDS = (

@@ -1,0 +1,347 @@
+"""Flat-array scheduler core: equivalence and directed invariants.
+
+The fast-mode schedulers run their passes over :class:`FlatSlots`
+(DESIGN.md §11) — bitset candidate sets, stamp-cached timing, an age
+matrix for tie-breaks and an optionally-vectorized cross-bank min —
+while ``REPRO_FASTFWD=0`` keeps the original object-model walk.  The
+flat mirror must be *invisible*: byte-identical stats, command traces
+and CPU results on every mechanism, with the protocol oracle watching.
+
+The directed tests pin the idioms the property test would only
+exercise by luck: equal-age tie-breaks at the age-matrix boundary,
+stale-bit reuse after ``clear``/``install``, cache invalidation on a
+``refresh_pending`` flip, and numpy/pure-int parity of the min.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.access import AccessType
+from repro.controller.flatcore import (
+    KIND_ACTIVATE,
+    NUMPY_MIN_SLOTS,
+    FlatSlots,
+    numpy_enabled,
+)
+from repro.controller.registry import extension_names, mechanism_names
+from repro.controller.system import MemorySystem
+from repro.dram.timing import DDR2_800
+from repro.mapping.base import DecodedAddress
+from repro.sim import profile
+from repro.sim.config import baseline_config
+from repro.sim.engine import run_requests
+from repro.timebase import NEVER
+
+ALL_MECHANISMS = list(mechanism_names()) + list(extension_names())
+
+QUIET = replace(DDR2_800, tREFI=None, tRFC=0)
+FAST_REFRESH = replace(DDR2_800, tREFI=150, tRFC=20)
+
+
+@contextmanager
+def pinned(**env):
+    """Pin environment variables for the duration of one run."""
+    saved = {key: os.environ.get(key) for key in env}
+    os.environ.update({key: value for key, value in env.items()})
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                del os.environ[key]
+            else:
+                os.environ[key] = value
+
+
+def _config(timing, **overrides):
+    kwargs = dict(
+        timing=timing,
+        channels=1,
+        ranks=2,
+        banks=2,
+        rows=8,
+        pool_size=32,
+        write_queue_size=8,
+        threshold=6,
+    )
+    kwargs.update(overrides)
+    return baseline_config(**kwargs)
+
+
+def _encode(config, workload):
+    donor = MemorySystem(config, "BkInOrder")
+    requests = []
+    for cycle, is_write, rank, bank, row, column in workload:
+        address = donor.mapping.encode(
+            DecodedAddress(0, rank % config.ranks, bank % config.banks,
+                           row, column)
+        )
+        op = AccessType.WRITE if is_write else AccessType.READ
+        requests.append((cycle, op, address))
+    return requests
+
+
+def _run(mechanism, config, requests, **env):
+    """One run with the protocol oracle attached via REPRO_ORACLE=1."""
+    with pinned(REPRO_ORACLE="1", **env):
+        system = MemorySystem(config, mechanism)
+        commands = []
+        for channel in system.channels:
+            channel.add_command_listener(
+                lambda event, log=commands: log.append(repr(event))
+            )
+        run_requests(system, list(requests))
+    return system.stats.to_dict(), commands
+
+
+@st.composite
+def workloads(draw):
+    """Bursty timestamped requests over a tiny address space."""
+    count = draw(st.integers(min_value=4, max_value=32))
+    requests = []
+    cycle = 0
+    for _ in range(count):
+        cycle += draw(
+            st.one_of(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=50, max_value=400),
+            )
+        )
+        requests.append(
+            (
+                cycle,
+                draw(st.booleans()),
+                draw(st.integers(0, 3)),
+                draw(st.integers(0, 7)),
+                draw(st.integers(0, 3)),
+                draw(st.integers(0, 3)),
+            )
+        )
+    return requests
+
+
+@settings(deadline=None)
+@given(workload=workloads(), refresh=st.booleans())
+def test_flat_pass_identical_to_object_pass(workload, refresh):
+    """Flat-array passes are byte-identical to the object-model walk.
+
+    The flat path only runs under ``REPRO_FASTFWD=1`` (the engine sets
+    ``_want_hint`` before each pass), so fast-vs-sequential is exactly
+    flat-vs-object — on all mechanisms, oracle-clean.
+    """
+    config = _config(FAST_REFRESH if refresh else QUIET)
+    requests = _encode(config, workload)
+    for mechanism in ALL_MECHANISMS:
+        obj = _run(mechanism, config, requests, REPRO_FASTFWD="0")
+        flat = _run(mechanism, config, requests, REPRO_FASTFWD="1")
+        assert flat == obj, f"{mechanism} flat pass diverged"
+
+
+@pytest.mark.skipif(not numpy_enabled(), reason="numpy not installed")
+@settings(deadline=None, max_examples=10)
+@given(workload=workloads())
+def test_numpy_min_matches_pure_int_fallback(workload):
+    """Vectorized and pure-int cross-bank mins agree byte-for-byte.
+
+    The config crosses ``NUMPY_MIN_SLOTS`` (4 ranks x 8 banks = 32
+    slots) so ``REPRO_NUMPY=1`` genuinely takes the vectorized path;
+    ``REPRO_NUMPY=0`` forces the int fallback on the same machine.
+    """
+    config = _config(QUIET, ranks=4, banks=8)
+    system = MemorySystem(config, "Burst_TH")
+    assert FlatSlots(system.channels[0]).use_numpy
+    requests = _encode(config, workload)
+    for mechanism in ("Burst_TH", "Burst_RP"):
+        vec = _run(mechanism, config, requests,
+                   REPRO_FASTFWD="1", REPRO_NUMPY="1")
+        pure = _run(mechanism, config, requests,
+                    REPRO_FASTFWD="1", REPRO_NUMPY="0")
+        assert vec == pure, f"{mechanism} numpy min diverged"
+
+
+# ----------------------------------------------------------------------
+# Directed: age matrix
+# ----------------------------------------------------------------------
+
+
+def _flat():
+    system = MemorySystem(_config(QUIET, ranks=2, banks=4), "Burst_TH")
+    return FlatSlots(system.channels[0])
+
+
+def _access(arrival, is_write=False):
+    return SimpleNamespace(arrival=arrival, is_write=is_write)
+
+
+def test_oldest_equal_age_tie_breaks_to_lowest_slot():
+    """Same arrival, same direction: the lowest slot index wins.
+
+    This is the boundary the composed age key exists for — it must
+    reproduce the object path's stable min over ``iter_banks`` order.
+    """
+    flat = _flat()
+    for slot in (5, 3, 6):
+        flat.install(slot, _access(arrival=10))
+    mask = (1 << 5) | (1 << 3) | (1 << 6)
+    assert flat.oldest(mask) == 3
+    # A strictly earlier arrival beats any slot position.
+    flat.install(7, _access(arrival=9))
+    assert flat.oldest(mask | (1 << 7)) == 7
+    # Masked queries ignore older candidates outside the mask.
+    assert flat.oldest((1 << 5) | (1 << 6)) == 5
+
+
+def test_oldest_orders_reads_before_writes_at_equal_arrival():
+    """The direction bit sits above the arrival in the composed key."""
+    flat = _flat()
+    flat.install(0, _access(arrival=10, is_write=True))
+    flat.install(1, _access(arrival=10, is_write=False))
+    assert flat.oldest(0b11) == 1
+
+
+def test_clear_then_install_rewrites_stale_age_bits():
+    """A freed slot's stale bits in other rows must never leak.
+
+    ``clear`` is O(1) and leaves other rows' bits for the slot behind;
+    ``install`` must rewrite them in both directions before the slot
+    can appear in a query again.
+    """
+    flat = _flat()
+    flat.install(0, _access(arrival=5))
+    flat.install(1, _access(arrival=6))
+    flat.clear(0)
+    assert flat.oldest(0b10) == 1
+    # Reinstalled *younger* than slot 1: the old "slot 0 is older"
+    # relation must not survive the clear.
+    flat.install(0, _access(arrival=7))
+    assert flat.oldest(0b11) == 1
+    flat.clear(1)
+    flat.install(1, _access(arrival=4))
+    assert flat.oldest(0b11) == 1
+
+
+def test_min_ready_numpy_and_pure_agree():
+    """Both min implementations see only occupied slots."""
+    flat = _flat()
+    flat.install(2, _access(arrival=1))
+    flat.install(4, _access(arrival=2))
+    flat.ready[2] = 100
+    flat.ready[4] = 90
+    assert flat.min_ready() == 90
+    flat.clear(4)
+    assert flat.min_ready() == 100
+    flat.clear(2)
+    assert flat.min_ready() == NEVER
+
+
+# ----------------------------------------------------------------------
+# Directed: stamp-cache invalidation
+# ----------------------------------------------------------------------
+
+
+def test_refresh_pending_flip_invalidates_cached_activate():
+    """A cached ACTIVATE candidate tracks ``refresh_pending`` flips.
+
+    The refresh engine blocks new activates while a refresh is due and
+    bumps ``Rank.ver`` exactly when the flag flips; the flat timing
+    cache must recompute on the bumped stamp or the fast path would
+    issue an activate the object path (and the device) refuses.
+    """
+    config = _config(DDR2_800)  # refresh enabled: tREFI is real
+    system = MemorySystem(config, "BkInOrder")
+    sched = system.schedulers[0]
+    address = system.mapping.encode(DecodedAddress(0, 0, 0, 3, 0))
+    access = system.make_access(AccessType.READ, address, 0)
+    assert system.enqueue(access, 0).name == "ACCEPTED"
+
+    flat = sched._flat
+    slot = access.rank * sched._bpr + access.bank
+    t0 = sched._flat_earliest(flat, slot, access, 0)
+    assert flat.kind[slot] == KIND_ACTIVATE
+    assert t0 < NEVER
+    assert (t0 <= 0) == sched.can_issue_access(access, 0)
+
+    rank = system.channels[0].ranks[0]
+    # Exactly what RefreshController.tick does at the due cycle.
+    rank.refresh_pending = True
+    rank.ver += 1
+    assert sched._flat_earliest(flat, slot, access, 0) == NEVER
+    assert not sched.can_issue_access(access, 0)
+
+    rank.refresh_pending = False
+    rank.ver += 1
+    assert sched._flat_earliest(flat, slot, access, 0) == t0
+    assert (t0 <= 0) == sched.can_issue_access(access, 0)
+
+
+def test_bind_invalidates_timing_cache():
+    """(Re)binding a slot forces a timing recompute on the next pass."""
+    flat = _flat()
+    flat.bind(3, _access(arrival=1))
+    assert flat.occupied == 1 << 3
+    assert flat.bstamp[3] == -1  # device vers are never negative
+    flat.clear(3)
+    assert flat.occupied == 0
+    assert flat.acc[3] is None
+
+
+# ----------------------------------------------------------------------
+# Directed: engine bookkeeping counters (satellites 1 and 2)
+# ----------------------------------------------------------------------
+
+
+def _sparse_requests(config, count=12, gap=700):
+    donor = MemorySystem(config, "BkInOrder")
+    requests = []
+    for i in range(count):
+        address = donor.mapping.encode(DecodedAddress(0, 0, 0, i % 8, 0))
+        requests.append((i * gap, AccessType.READ, address))
+    return requests
+
+
+def test_lookout_counters_move_and_stay_out_of_snapshots():
+    """The ``_arm_after`` streak throttle exposes hit/miss counters.
+
+    They are engine bookkeeping, not simulation results: they must
+    move under the fast engine yet never appear in ``to_dict()`` (the
+    checkpoint / cache byte-identity surface).
+    """
+    config = _config(QUIET)
+    with pinned(REPRO_FASTFWD="1"):
+        system = MemorySystem(config, "Burst_TH")
+        run_requests(system, _sparse_requests(config))
+    stats = system.stats
+    assert stats.lookout_hits > 0
+    assert stats.lookout_hits + stats.lookout_misses + \
+        stats.lookout_throttled > 0
+    snapshot = stats.to_dict()
+    assert "lookout_hits" not in snapshot
+    assert "lookout_misses" not in snapshot
+    assert "lookout_throttled" not in snapshot
+
+
+def test_profiler_reports_pass_cost_breakdown(monkeypatch):
+    """REPRO_PROFILE=1 counts candidates, checks and cache hits."""
+    monkeypatch.setenv("REPRO_PROFILE", "1")
+    monkeypatch.setenv("REPRO_FASTFWD", "1")
+    profile.reset()
+    try:
+        config = _config(QUIET)
+        system = MemorySystem(config, "Burst_TH")
+        run_requests(system, _sparse_requests(config))
+        summary = profile.active().summary()
+        assert summary["sched_candidates"] > 0
+        assert summary["sched_timing_checks"] > 0
+        assert summary["sched_bitset_hits"] + \
+            summary["sched_timing_checks"] == summary["sched_candidates"]
+        assert "sched candidates" in profile.active().format_summary()
+    finally:
+        profile.reset()

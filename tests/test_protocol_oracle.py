@@ -235,10 +235,12 @@ class _TRPSkippingScheduler(BkInOrderScheduler):
     Zeroing the bank and rank activate gates before the legality check
     makes the device model accept activates immediately after a
     precharge — exactly the class of model bug the independent oracle
-    exists to catch.  Both legality hooks are broken the same way so
-    the bug survives either engine mode (the sequential loop asks
-    ``can_issue_access``, the next-event fast path its mirror
-    ``earliest_issue_cycle``).
+    exists to catch.  All three legality hooks are broken the same way
+    so the bug survives either engine mode (the sequential loop asks
+    ``can_issue_access``, the next-event fast path the flat-array
+    mirror ``_flat_earliest`` — whose stamp cache must also be broken
+    through, or it would serve the pre-mutation timing — and
+    ``earliest_issue_cycle`` backs conservative wakeups).
     """
 
     name = "BrokenNoTRP"
@@ -255,6 +257,11 @@ class _TRPSkippingScheduler(BkInOrderScheduler):
     def earliest_issue_cycle(self, access, cycle):
         self._forget_trp(access)
         return super().earliest_issue_cycle(access, cycle)
+
+    def _flat_earliest(self, flat, i, access, cycle):
+        self._forget_trp(access)
+        flat.bstamp[i] = -1  # defeat the stamp cache: recompute now
+        return super()._flat_earliest(flat, i, access, cycle)
 
 
 def test_oracle_catches_broken_scheduler(small_config):
