@@ -87,6 +87,7 @@ class MemoryAccess:
         "bank",
         "row",
         "column",
+        "subarray",
         "arrival",
         "start_cycle",
         "complete_cycle",
@@ -102,6 +103,7 @@ class MemoryAccess:
         address: int,
         decoded: DecodedAddress,
         arrival: int,
+        subarray: int = 0,
     ) -> None:
         self.id = _allocate_id()
         self.type = type
@@ -111,6 +113,7 @@ class MemoryAccess:
         self.bank = decoded.bank
         self.row = decoded.row
         self.column = decoded.column
+        self.subarray = subarray
         self.arrival = arrival
         self.start_cycle: Optional[int] = None
         self.complete_cycle: Optional[int] = None
@@ -149,6 +152,7 @@ class MemoryAccess:
             "bank": self.bank,
             "row": self.row,
             "column": self.column,
+            "subarray": self.subarray,
             "arrival": self.arrival,
             "start_cycle": self.start_cycle,
             "complete_cycle": self.complete_cycle,
@@ -172,6 +176,7 @@ class MemoryAccess:
         access.bank = state["bank"]
         access.row = state["row"]
         access.column = state["column"]
+        access.subarray = state.get("subarray", 0)
         access.arrival = state["arrival"]
         access.start_cycle = state["start_cycle"]
         access.complete_cycle = state["complete_cycle"]

@@ -77,6 +77,16 @@ class Scheduler(abc.ABC):
         )
         # Completion queue of (complete_cycle, access_id, access).
         self._completions: List[Tuple[int, int, MemoryAccess]] = []
+        # Per-bank occupancy counters (slot = rank * banks + bank):
+        # reads/writes admitted to this channel and not yet retired
+        # from the pool.  The DARP refresher consults these to pick
+        # idle banks for refresh pull-in; they mirror pool membership
+        # exactly (incremented beside ``pool.add``, decremented beside
+        # ``pool.remove``).
+        self._banks_per_rank = len(channel.ranks[0].banks)
+        slots = len(channel.ranks) * self._banks_per_rank
+        self._bank_reads = [0] * slots
+        self._bank_writes = [0] * slots
         # Pending-address indexes for RAW forwarding and WAR blocking.
         self._writes_by_addr: Dict[int, List[MemoryAccess]] = {}
         self._reads_by_addr: Dict[int, int] = {}
@@ -133,14 +143,28 @@ class Scheduler(abc.ABC):
             self._reads_by_addr[access.address] = (
                 self._reads_by_addr.get(access.address, 0) + 1
             )
+            self._bank_reads[
+                access.rank * self._banks_per_rank + access.bank
+            ] += 1
             self._enqueue_read(access, cycle)
             self._gate_cmds = -1  # new material: gate + freeze broken
             return EnqueueStatus.ACCEPTED
         self.pool.add(access)
         self._writes_by_addr.setdefault(access.address, []).append(access)
+        self._bank_writes[
+            access.rank * self._banks_per_rank + access.bank
+        ] += 1
         self._enqueue_write(access, cycle)
         self._gate_cmds = -1
         return EnqueueStatus.ACCEPTED
+
+    def bank_queued_reads(self, rank: int, bank: int) -> int:
+        """Reads admitted for ``(rank, bank)`` and not yet retired."""
+        return self._bank_reads[rank * self._banks_per_rank + bank]
+
+    def bank_queued_writes(self, rank: int, bank: int) -> int:
+        """Writes admitted for ``(rank, bank)`` and not yet retired."""
+        return self._bank_writes[rank * self._banks_per_rank + bank]
 
     # ------------------------------------------------------------------
     # Hooks for concrete mechanisms
@@ -216,7 +240,10 @@ class Scheduler(abc.ABC):
             return max(
                 cycle, channel.next_precharge_at(access.rank, access.bank)
             )
-        return max(cycle, channel.next_activate_at(access.rank, access.bank))
+        return max(
+            cycle,
+            channel.next_activate_at(access.rank, access.bank, access.row),
+        )
 
     def _flat_earliest(self, flat, i: int, access, cycle: int) -> int:
         """:meth:`earliest_issue_cycle` through the flat mirror's cache.
@@ -253,11 +280,27 @@ class Scheduler(abc.ABC):
             elif rank.refresh_pending:
                 kind = 3  # activate fenced off until the refresh issues
                 core = NEVER
+            elif bank.refresh_pending and (
+                bank.pending_subarray is None
+                or bank.pending_subarray == access.subarray
+            ):
+                # A per-bank refresh is due in this bank: activates to
+                # the refreshing subarray (or the whole bank without
+                # SARP) are fenced until the REFpb issues — an event,
+                # so NEVER rather than a cycle.
+                kind = 3
+                core = NEVER
             else:
                 kind = 3  # activate
                 core = rank.ready_activate
                 if bank.ready_activate > core:
                     core = bank.ready_activate
+                pb_busy = bank.refresh_busy_until
+                if pb_busy > core and (
+                    bank.refreshing_subarray is None
+                    or bank.refreshing_subarray == access.subarray
+                ):
+                    core = pb_busy  # open per-bank refresh window
                 tFAW = self._tFAW
                 if tFAW is not None:
                     times = rank._activate_times
@@ -323,6 +366,8 @@ class Scheduler(abc.ABC):
                 [addr, count]
                 for addr, count in self._reads_by_addr.items()
             ],
+            "bank_reads": list(self._bank_reads),
+            "bank_writes": list(self._bank_writes),
             "row_predictor": (
                 self.row_predictor.state_dict()
                 if self.row_predictor is not None
@@ -352,6 +397,8 @@ class Scheduler(abc.ABC):
         self._reads_by_addr = {
             addr: count for addr, count in state["reads_by_addr"]
         }
+        self._bank_reads = list(state["bank_reads"])
+        self._bank_writes = list(state["bank_writes"])
         if self.row_predictor is not None and state["row_predictor"]:
             self.row_predictor.load_state_dict(state["row_predictor"])
         self._gate_until = -1
@@ -401,7 +448,9 @@ class Scheduler(abc.ABC):
             )
         if kind is PRECHARGE:
             return channel.can_precharge_at(cycle, access.rank, access.bank)
-        return channel.can_activate_at(cycle, access.rank, access.bank)
+        return channel.can_activate_at(
+            cycle, access.rank, access.bank, access.row
+        )
 
     def issue_for(self, access: MemoryAccess, cycle: int) -> str:
         """Issue the access's next transaction; returns its kind.
@@ -461,6 +510,9 @@ class Scheduler(abc.ABC):
             if not queued:
                 del self._writes_by_addr[access.address]
         self.pool.remove(access)
+        self._bank_writes[
+            access.rank * self._banks_per_rank + access.bank
+        ] -= 1
         self.stats.write_latency.add(access.complete_cycle - access.arrival)
         self.stats.completed_writes += 1
         if access.piggybacked:
@@ -474,6 +526,9 @@ class Scheduler(abc.ABC):
         else:
             self._reads_by_addr[access.address] = count - 1
         self.pool.remove(access)
+        self._bank_reads[
+            access.rank * self._banks_per_rank + access.bank
+        ] -= 1
         latency = access.complete_cycle - access.arrival
         self.stats.read_latency.add(latency)
         slice_stats = self.stats.read_latency_per_slice

@@ -136,10 +136,72 @@ def make_scheduler_factory(name: str) -> SchedulerFactory:
         ) from None
 
 
+# ----------------------------------------------------------------------
+# Refresh mechanisms (beyond the paper: Chang et al., HPCA 2014)
+# ----------------------------------------------------------------------
+
+
+def _refab(channel, subarrays):
+    from repro.dram.refresh import RefreshController
+
+    return RefreshController(channel)
+
+
+def _refpb(channel, subarrays):
+    from repro.dram.refresh import PerBankRefresher
+
+    return PerBankRefresher(channel, subarrays)
+
+
+def _darp(channel, subarrays):
+    from repro.dram.refresh import DARPRefresher
+
+    return DARPRefresher(channel, subarrays)
+
+
+def _sarp(channel, subarrays):
+    from repro.dram.refresh import SARPRefresher
+
+    return SARPRefresher(channel, subarrays)
+
+
+#: Name -> factory(channel, subarrays).  REFab is the DDR2 all-bank
+#: auto-refresh baseline; REFpb is JEDEC per-bank round-robin refresh;
+#: DARP adds out-of-order refresh with idle-bank pull-in and write-drain
+#: co-scheduling; SARP refreshes one subarray at a time so other
+#: subarrays of the same bank stay accessible.
+REFRESH_POLICIES: Dict[str, Callable] = {
+    "REFab": _refab,
+    "REFpb": _refpb,
+    "DARP": _darp,
+    "SARP": _sarp,
+}
+
+
+def refresh_policy_names() -> List[str]:
+    """Supported refresh mechanism names."""
+    return list(REFRESH_POLICIES)
+
+
+def make_refresh_policy(name: str, channel, subarrays: int = 1):
+    """Instantiate the refresh mechanism ``name`` for ``channel``."""
+    try:
+        factory = REFRESH_POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown refresh policy {name!r}; "
+            f"available: {refresh_policy_names()}"
+        ) from None
+    return factory(channel, subarrays)
+
+
 __all__ = [
     "EXTENSIONS",
     "MECHANISMS",
+    "REFRESH_POLICIES",
     "extension_names",
+    "make_refresh_policy",
     "make_scheduler_factory",
     "mechanism_names",
+    "refresh_policy_names",
 ]

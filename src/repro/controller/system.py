@@ -21,7 +21,10 @@ from typing import Callable, List, Optional, Union
 
 from repro.controller.access import AccessType, EnqueueStatus, MemoryAccess
 from repro.controller.pool import AccessPool
-from repro.controller.registry import make_scheduler_factory
+from repro.controller.registry import (
+    make_refresh_policy,
+    make_scheduler_factory,
+)
 from repro.dram.channel import Channel
 from repro.dram.refresh import RefreshController
 from repro.mapping.schemes import make_mapping
@@ -54,12 +57,23 @@ class MemorySystem:
         self.refreshers: List[RefreshController] = []
         self.schedulers = []
         for index in range(config.channels):
-            channel = Channel(config.timing, index, config.ranks, config.banks)
-            self.channels.append(channel)
-            self.refreshers.append(RefreshController(channel))
-            self.schedulers.append(
-                factory(config, channel, self.pool, self.stats)
+            channel = Channel(
+                config.timing,
+                index,
+                config.ranks,
+                config.banks,
+                subarray_rows=config.subarray_rows,
             )
+            self.channels.append(channel)
+            refresher = make_refresh_policy(
+                config.refresh_policy, channel, config.subarrays
+            )
+            self.refreshers.append(refresher)
+            scheduler = factory(config, channel, self.pool, self.stats)
+            self.schedulers.append(scheduler)
+            # DARP reads the scheduler's per-bank queue occupancy to
+            # pick pull-in victims; the other policies ignore the bind.
+            refresher.bind_scheduler(scheduler)
         self.mechanism_name = self.schedulers[0].name
         #: (scheduler, channel, refresher, pool_sensitive) tuples,
         #: zipped once — the tick loop runs per simulated cycle and per
@@ -120,7 +134,14 @@ class MemorySystem:
         self, type: AccessType, address: int, cycle: int
     ) -> MemoryAccess:
         """Build an access with device coordinates for ``address``."""
-        return MemoryAccess(type, address, self.mapping.decode(address), cycle)
+        decoded = self.mapping.decode(address)
+        return MemoryAccess(
+            type,
+            address,
+            decoded,
+            cycle,
+            decoded.subarray(self.mapping.subarray_rows),
+        )
 
     def can_accept(self, access: MemoryAccess) -> bool:
         """Room in the pool (and write queue) for this access now?"""

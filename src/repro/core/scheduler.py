@@ -609,11 +609,23 @@ class BurstScheduler(Scheduler):
                 elif rank.refresh_pending:
                     kind = 3  # activate fenced off until refresh issues
                     core = never
+                elif bank.refresh_pending and (
+                    bank.pending_subarray is None
+                    or bank.pending_subarray == a.subarray
+                ):
+                    kind = 3  # fenced by a due per-bank refresh
+                    core = never
                 else:
                     kind = 3  # activate
                     core = rank.ready_activate
                     if bank.ready_activate > core:
                         core = bank.ready_activate
+                    pb_busy = bank.refresh_busy_until
+                    if pb_busy > core and (
+                        bank.refreshing_subarray is None
+                        or bank.refreshing_subarray == a.subarray
+                    ):
+                        core = pb_busy  # open per-bank refresh window
                     if tFAW is not None:
                         times = rank._activate_times
                         if len(times) == 4 and times[0] + tFAW > core:

@@ -38,14 +38,38 @@ class Bank:
     :class:`~repro.dram.channel.Channel`.
     """
 
-    def __init__(self, timing: TimingParams, index: int) -> None:
+    def __init__(
+        self,
+        timing: TimingParams,
+        index: int,
+        subarray_rows: Optional[int] = None,
+    ) -> None:
         self.timing = timing
         self.index = index
+        #: Rows per subarray (SARP geometry); ``None`` disables
+        #: subarray-level reasoning and every refresh window excludes
+        #: the whole bank.
+        self.subarray_rows = subarray_rows
         self.state = BankState.IDLE
         self.open_row: Optional[int] = None
         self.ready_activate = 0
         self.ready_column = 0
         self.ready_precharge = 0
+        # Per-bank refresh (REFpb) state.  While ``cycle <
+        # refresh_busy_until`` the bank is refreshing: new activates are
+        # blocked, except (SARP) activates to a different subarray than
+        # ``refreshing_subarray``.  ``refresh_pending`` is the per-bank
+        # analogue of the rank-level refresh starvation fix: the
+        # refresh controller raises it when a REFpb is due so the
+        # schedulers stop opening new rows (in the pending subarray,
+        # when one is named) and the bank drains.
+        self.refresh_busy_until = 0
+        self.refreshing_subarray: Optional[int] = None
+        self.refresh_pending = False
+        self.pending_subarray: Optional[int] = None
+        #: REFpb commands applied to this bank; also drives the SARP
+        #: subarray round-robin (target = count % subarrays).
+        self.refresh_pb_count = 0
         #: Write-version stamp: bumped on every state mutation, so the
         #: schedulers' flat-array caches (DESIGN.md §11) can tell a
         #: cached earliest-issue value is still valid without re-reading
@@ -61,9 +85,47 @@ class Bank:
     # Legality checks ("is this transaction unblocked at cycle t?")
     # ------------------------------------------------------------------
 
-    def can_activate(self, cycle: int) -> bool:
-        """True when a row activate may issue this cycle."""
-        return self.state is BankState.IDLE and cycle >= self.ready_activate
+    def subarray_of(self, row: Optional[int]) -> Optional[int]:
+        """The subarray holding ``row`` (``None`` without geometry)."""
+        if row is None or not self.subarray_rows:
+            return None
+        return row // self.subarray_rows
+
+    def _refresh_excludes(self, subarray: Optional[int]) -> bool:
+        """Whether an in-window refresh blocks work on ``subarray``.
+
+        A whole-bank REFpb (``refreshing_subarray is None``) excludes
+        everything; a SARP refresh excludes only its own subarray, but
+        an access whose subarray is unknown must assume the worst.
+        """
+        return (
+            self.refreshing_subarray is None
+            or subarray is None
+            or subarray == self.refreshing_subarray
+        )
+
+    def _pending_excludes(self, subarray: Optional[int]) -> bool:
+        """Whether a pending (not yet issued) REFpb blocks new rows."""
+        return (
+            self.pending_subarray is None
+            or subarray is None
+            or subarray == self.pending_subarray
+        )
+
+    def can_activate(self, cycle: int, subarray: Optional[int] = None) -> bool:
+        """True when a row activate may issue this cycle.
+
+        ``subarray`` (of the row being opened) refines the per-bank
+        refresh gates: a SARP refresh window or pending SARP refresh
+        blocks only its own subarray.
+        """
+        if self.state is not BankState.IDLE or cycle < self.ready_activate:
+            return False
+        if self.refresh_pending and self._pending_excludes(subarray):
+            return False
+        if cycle < self.refresh_busy_until and self._refresh_excludes(subarray):
+            return False
+        return True
 
     def can_column(self, cycle: int, row: int) -> bool:
         """True when a column access to ``row`` may issue this cycle.
@@ -89,9 +151,19 @@ class Bank:
     # NEVER when only a state change (a command) could enable it.  All
     # timing gates are monotone thresholds, so the answer is exact.
 
-    def next_activate_ready(self) -> int:
+    def next_activate_ready(self, subarray: Optional[int] = None) -> int:
         """Earliest cycle :meth:`can_activate` can turn true."""
-        return self.ready_activate if self.state is BankState.IDLE else NEVER
+        if self.state is not BankState.IDLE:
+            return NEVER
+        if self.refresh_pending and self._pending_excludes(subarray):
+            return NEVER  # cleared by the REFpb command itself
+        ready = self.ready_activate
+        if (
+            self.refresh_busy_until > ready
+            and self._refresh_excludes(subarray)
+        ):
+            ready = self.refresh_busy_until
+        return ready
 
     def next_column_ready(self, row: int) -> int:
         """Earliest cycle :meth:`can_column` for ``row`` can turn true."""
@@ -102,6 +174,87 @@ class Bank:
     def next_precharge_ready(self) -> int:
         """Earliest cycle :meth:`can_precharge` can turn true."""
         return self.ready_precharge if self.state is BankState.ACTIVE else NEVER
+
+    # ------------------------------------------------------------------
+    # Per-bank refresh (REFpb)
+    # ------------------------------------------------------------------
+
+    def can_refresh_pb(self, cycle: int, subarray: Optional[int] = None) -> bool:
+        """True when a per-bank refresh may issue this cycle.
+
+        The bank must be out of any earlier refresh window and past its
+        activate-readiness chain (a REFpb is an internally generated
+        activate of ``subarray``); it must be precharged, except under
+        SARP where a row open in a *different* subarray may stay open.
+        """
+        if cycle < self.refresh_busy_until or cycle < self.ready_activate:
+            return False
+        if self.state is BankState.IDLE:
+            return True
+        open_sa = self.subarray_of(self.open_row)
+        return (
+            subarray is not None
+            and open_sa is not None
+            and open_sa != subarray
+        )
+
+    def next_refresh_pb_ready(self, subarray: Optional[int] = None) -> int:
+        """Earliest cycle :meth:`can_refresh_pb` can turn true."""
+        if self.state is not BankState.IDLE:
+            open_sa = self.subarray_of(self.open_row)
+            if (
+                subarray is None
+                or open_sa is None
+                or open_sa == subarray
+            ):
+                return NEVER  # needs a precharge first
+        ready = self.ready_activate
+        if self.refresh_busy_until > ready:
+            ready = self.refresh_busy_until
+        return ready
+
+    def _refresh_blocking_row(self, subarray: Optional[int]) -> bool:
+        """Whether the open row prevents a REFpb of ``subarray``.
+
+        The refresh controllers use this to decide if a pending REFpb
+        needs a precharge first: under SARP a row open in a different
+        subarray never blocks.
+        """
+        if self.open_row is None:
+            return False
+        open_sa = self.subarray_of(self.open_row)
+        return subarray is None or open_sa is None or open_sa == subarray
+
+    def set_refresh_pending(self, subarray: Optional[int]) -> None:
+        """Mark a due REFpb: stop opening rows that would block it."""
+        if not self.refresh_pending or self.pending_subarray != subarray:
+            self.refresh_pending = True
+            self.pending_subarray = subarray
+            self.ver += 1
+
+    def apply_refresh_pb(
+        self, cycle: int, subarray: Optional[int] = None
+    ) -> int:
+        """Refresh one bank (one subarray under SARP); returns done cycle.
+
+        The bank (or, under SARP, the refreshed subarray) is busy until
+        ``cycle + tRFCpb``; any pending marker is consumed.
+        """
+        if not self.can_refresh_pb(cycle, subarray):
+            raise ProtocolError(
+                f"bank {self.index}: illegal REFpb at cycle {cycle} "
+                f"(state={self.state.value}, open_row={self.open_row}, "
+                f"ready={self.ready_activate}, "
+                f"busy_until={self.refresh_busy_until})"
+            )
+        done = cycle + self.timing.refpb_recovery
+        self.refresh_busy_until = done
+        self.refreshing_subarray = subarray
+        self.refresh_pending = False
+        self.pending_subarray = None
+        self.refresh_pb_count += 1
+        self.ver += 1
+        return done
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -118,6 +271,11 @@ class Bank:
             "activate_count": self.activate_count,
             "precharge_count": self.precharge_count,
             "column_count": self.column_count,
+            "refresh_busy_until": self.refresh_busy_until,
+            "refreshing_subarray": self.refreshing_subarray,
+            "refresh_pending": self.refresh_pending,
+            "pending_subarray": self.pending_subarray,
+            "refresh_pb_count": self.refresh_pb_count,
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -129,6 +287,11 @@ class Bank:
         self.activate_count = state["activate_count"]
         self.precharge_count = state["precharge_count"]
         self.column_count = state["column_count"]
+        self.refresh_busy_until = state["refresh_busy_until"]
+        self.refreshing_subarray = state["refreshing_subarray"]
+        self.refresh_pending = state["refresh_pending"]
+        self.pending_subarray = state["pending_subarray"]
+        self.refresh_pb_count = state["refresh_pb_count"]
         self.ver += 1  # loaded fields invalidate any cached view
 
     # ------------------------------------------------------------------
@@ -137,7 +300,7 @@ class Bank:
 
     def activate(self, cycle: int, row: int) -> None:
         """Open ``row``; columns become legal after tRCD."""
-        if not self.can_activate(cycle):
+        if not self.can_activate(cycle, self.subarray_of(row)):
             raise ProtocolError(
                 f"bank {self.index}: illegal ACTIVATE at cycle {cycle} "
                 f"(state={self.state.value}, ready={self.ready_activate})"

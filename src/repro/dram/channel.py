@@ -40,11 +40,19 @@ class Channel:
     """Ranks of banks behind one shared command bus and data bus."""
 
     def __init__(
-        self, timing: TimingParams, index: int, ranks: int, banks: int
+        self,
+        timing: TimingParams,
+        index: int,
+        ranks: int,
+        banks: int,
+        subarray_rows: Optional[int] = None,
     ) -> None:
         self.timing = timing
         self.index = index
-        self.ranks: List[Rank] = [Rank(timing, r, banks) for r in range(ranks)]
+        self.subarray_rows = subarray_rows
+        self.ranks: List[Rank] = [
+            Rank(timing, r, banks, subarray_rows) for r in range(ranks)
+        ]
         self.banks_per_rank = banks
         # Command bus: one command per cycle.
         self._last_cmd_cycle = -1
@@ -144,11 +152,16 @@ class Channel:
             return False
         if cmd.kind is CommandType.ACTIVATE:
             assert cmd.row is not None
-            return rank.can_activate(cycle, cmd.bank)
+            return rank.can_activate(cycle, cmd.bank, cmd.row)
         if cmd.kind is CommandType.PRECHARGE:
             return rank.can_precharge(cycle, cmd.bank)
         if cmd.kind is CommandType.REFRESH:
             return rank.can_refresh(cycle)
+        if cmd.kind is CommandType.REFRESH_PB:
+            # Whole-bank semantics: a Command carries no subarray, so
+            # the bank must be fully idle (the SARP refresher uses the
+            # subarray-aware fast path below instead).
+            return rank.can_refresh_pb(cycle, cmd.bank)
         # Column access: bank, rank turnaround and data bus must agree.
         assert cmd.row is not None
         is_read = cmd.kind is CommandType.READ
@@ -180,6 +193,8 @@ class Channel:
             return None
         if cmd.kind is CommandType.REFRESH:
             return self.issue_refresh(cycle, cmd.rank)
+        if cmd.kind is CommandType.REFRESH_PB:
+            return self.issue_refresh_pb(cycle, cmd.rank, cmd.bank)
         is_read = cmd.kind is CommandType.READ
         return self.issue_column(
             cycle, cmd.rank, cmd.bank, cmd.row, is_read
@@ -205,9 +220,13 @@ class Channel:
     # (schedulers issue at most one command per cycle by construction).
     # ------------------------------------------------------------------
 
-    def can_activate_at(self, cycle: int, rank: int, bank: int) -> bool:
+    def can_activate_at(
+        self, cycle: int, rank: int, bank: int, row: Optional[int] = None
+    ) -> bool:
         r = self.ranks[rank]
-        return cycle >= r.refresh_busy_until and r.can_activate(cycle, bank)
+        return cycle >= r.refresh_busy_until and r.can_activate(
+            cycle, bank, row
+        )
 
     def can_precharge_at(self, cycle: int, rank: int, bank: int) -> bool:
         r = self.ranks[rank]
@@ -231,9 +250,23 @@ class Channel:
     # NEVER means only another command (an event) can unblock it.
     # ------------------------------------------------------------------
 
-    def next_activate_at(self, rank: int, bank: int) -> int:
+    def can_refresh_pb_at(
+        self,
+        cycle: int,
+        rank: int,
+        bank: int,
+        subarray: Optional[int] = None,
+    ) -> bool:
         r = self.ranks[rank]
-        return max(r.refresh_busy_until, r.next_activate_ready(bank))
+        return cycle >= r.refresh_busy_until and r.can_refresh_pb(
+            cycle, bank, subarray
+        )
+
+    def next_activate_at(
+        self, rank: int, bank: int, row: Optional[int] = None
+    ) -> int:
+        r = self.ranks[rank]
+        return max(r.refresh_busy_until, r.next_activate_ready(bank, row))
 
     def next_precharge_at(self, rank: int, bank: int) -> int:
         r = self.ranks[rank]
@@ -336,6 +369,25 @@ class Channel:
         done = self.ranks[rank].refresh(cycle)
         if self._listeners:
             self._emit(TracedCommand(cycle, "REF", rank, 0, None, done))
+        return done
+
+    def issue_refresh_pb(
+        self,
+        cycle: int,
+        rank: int,
+        bank: int,
+        subarray: Optional[int] = None,
+    ) -> int:
+        """Issue a per-bank REFpb; returns its completion cycle."""
+        self._claim_cmd_bus(cycle)
+        done = self.ranks[rank].refresh_pb(cycle, bank, subarray)
+        if self._listeners:
+            self._emit(
+                TracedCommand(
+                    cycle, "REFPB", rank, bank, None, done,
+                    subarray=subarray,
+                )
+            )
         return done
 
     def _claim_cmd_bus(self, cycle: int) -> None:

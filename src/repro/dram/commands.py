@@ -21,6 +21,7 @@ class CommandType(enum.Enum):
     READ = "read"
     WRITE = "write"
     REFRESH = "refresh"
+    REFRESH_PB = "refresh_pb"
 
     @property
     def is_column(self) -> bool:
@@ -64,15 +65,18 @@ class TracedCommand:
     :class:`~repro.dram.tracer.ChannelTracer` recorder and the
     :class:`~repro.dram.oracle.ProtocolOracle` conformance checker).
 
-    ``kind`` is one of ``ACT`` / ``PRE`` / ``RD`` / ``WR`` / ``REF``.
-    Column accesses carry their ``column``, ``auto_precharge`` flag and
-    data-bus window (``data_start`` inclusive to ``data_end``
-    exclusive, in memory cycles); ``REF`` carries the cycle the rank
-    becomes usable again in ``data_end``.
+    ``kind`` is one of ``ACT`` / ``PRE`` / ``RD`` / ``WR`` / ``REF`` /
+    ``REFPB``.  Column accesses carry their ``column``,
+    ``auto_precharge`` flag and data-bus window (``data_start``
+    inclusive to ``data_end`` exclusive, in memory cycles); ``REF``
+    carries the cycle the rank becomes usable again in ``data_end``,
+    and ``REFPB`` the cycle its *bank* becomes usable again plus the
+    refreshed subarray in ``subarray`` (``None`` for whole-bank
+    REFpb).
     """
 
     cycle: int
-    kind: str            # ACT / PRE / RD / WR / REF
+    kind: str            # ACT / PRE / RD / WR / REF / REFPB
     rank: int
     bank: int
     row: Optional[int]
@@ -80,6 +84,7 @@ class TracedCommand:
     column: Optional[int] = None
     auto_precharge: bool = False
     data_start: Optional[int] = None
+    subarray: Optional[int] = None
 
     def __str__(self) -> str:
         location = f"r{self.rank}b{self.bank}"
@@ -89,6 +94,12 @@ class TracedCommand:
             return f"{self.cycle:4d} PRE {location}"
         if self.kind == "REF":
             return f"{self.cycle:4d} REF r{self.rank} done={self.data_end}"
+        if self.kind == "REFPB":
+            sa = "" if self.subarray is None else f" sa={self.subarray}"
+            return (
+                f"{self.cycle:4d} REFPB {location}{sa} "
+                f"done={self.data_end}"
+            )
         suffix = " AP" if self.auto_precharge else ""
         return (
             f"{self.cycle:4d} {self.kind}  {location} row={self.row} "

@@ -41,6 +41,17 @@ state machine   no column/precharge on an idle bank, no activate on
                 an open bank, no refresh with open rows
 tREFI / tRFC    rank busy for tRFC after REFRESH; refreshes never
                 postponed beyond the JEDEC 9 x tREFI bound
+tRFCpb          bank busy for tRFCpb after a per-bank REFpb; no other
+                command may touch the refreshing bank (under SARP,
+                only the refreshing subarray is excluded)
+tRREFD          minimum spacing between REFpb commands on one rank
+per-bank tREFI  every *bank* refreshed (REF or REFpb) within the
+                9 x tREFI bound, checked in-stream and at end of run
+refresh setup   a REFpb is an internal activate: tRP/tRC at the bank,
+                tRRD at the rank must have elapsed
+SARP            a REFpb naming a subarray must not collide with the
+                open row's subarray, and must follow the per-bank
+                subarray round-robin (count % subarrays)
 ==============  =====================================================
 
 Usage — live, next to the hazard monitor::
@@ -86,7 +97,8 @@ class _BankShadow:
     """Raw per-bank event history (no code shared with dram.bank)."""
 
     __slots__ = ("open_row", "last_act", "last_read", "last_write",
-                 "act_ready_after_close")
+                 "act_ready_after_close", "refresh_done", "refreshing_sa",
+                 "last_refresh", "refresh_count", "virtual_due")
 
     def __init__(self) -> None:
         self.open_row: Optional[int] = None
@@ -96,13 +108,32 @@ class _BankShadow:
         #: Earliest activate after the most recent row close (the tRP
         #: chain, including an auto-precharge's internal close point).
         self.act_ready_after_close = 0
+        #: End of this bank's own REFpb window (tRFCpb).
+        self.refresh_done = 0
+        #: Subarray of the in-progress REFpb (SARP), else None: the
+        #: whole bank is excluded until :attr:`refresh_done`.
+        self.refreshing_sa: Optional[int] = None
+        #: Cycle this *bank* was last refreshed, by REF or REFpb.
+        self.last_refresh: Optional[int] = None
+        #: REFpb commands this bank has received (SARP round-robin).
+        self.refresh_count = 0
+        #: The bank's virtual refresh-schedule position: each REFpb
+        #: retires one scheduled refresh and advances this by tREFI,
+        #: regardless of when it actually issued.  JEDEC's debit/credit
+        #: rule bounds each refresh to +/- 8 x tREFI of this position —
+        #: a plain inter-refresh gap bound would false-flag legitimate
+        #: DARP pull-ins (an early refresh stretches the following gap
+        #: without ever violating the schedule).  None until the first
+        #: refresh activity establishes the schedule.
+        self.virtual_due: Optional[int] = None
 
 
 class _RankShadow:
     """Raw per-rank event history (no code shared with dram.rank)."""
 
     __slots__ = ("banks", "act_times", "last_act", "read_ready",
-                 "refresh_done", "last_refresh", "refresh_count")
+                 "refresh_done", "last_refresh", "refresh_count",
+                 "last_refpb")
 
     def __init__(self, banks: int) -> None:
         self.banks = [_BankShadow() for _ in range(banks)]
@@ -114,6 +145,8 @@ class _RankShadow:
         self.refresh_done = 0
         self.last_refresh: Optional[int] = None
         self.refresh_count = 0
+        #: Most recent REFpb to *any* bank of this rank (tRREFD).
+        self.last_refpb: Optional[int] = None
 
 
 class ProtocolOracle:
@@ -133,10 +166,16 @@ class ProtocolOracle:
         banks: int,
         strict: bool = True,
         channel_index: int = 0,
+        subarray_rows: Optional[int] = None,
+        subarrays: int = 1,
     ) -> None:
         self.timing = timing
         self.strict = strict
         self.channel_index = channel_index
+        #: Rows per subarray; None means the oracle cannot map rows to
+        #: subarrays, so SARP exclusions degrade to whole-bank checks.
+        self.subarray_rows = subarray_rows
+        self.subarrays = subarrays
         self.violations: List[Violation] = []
         self.commands_checked = 0
         self._ranks = [_RankShadow(banks) for _ in range(ranks)]
@@ -204,6 +243,9 @@ class ProtocolOracle:
             self._flag(cmd, "state", f"bank {cmd.bank} does not exist")
             return
         bank = rank.banks[cmd.bank]
+        if cmd.kind == "REFPB":
+            self._observe_refresh_pb(cmd, rank, bank)
+            return
         if cmd.kind == "ACT":
             self._observe_activate(cmd, rank, bank)
         elif cmd.kind == "PRE":
@@ -217,10 +259,38 @@ class ProtocolOracle:
     # Per-kind checks + state application
     # ------------------------------------------------------------------
 
+    def _row_subarray(self, row: Optional[int]) -> Optional[int]:
+        """The subarray a row lives in, or None if geometry is unknown."""
+        if row is None or not self.subarray_rows:
+            return None
+        return row // self.subarray_rows
+
+    def _pb_window_blocks(self, bank, subarray: Optional[int]) -> bool:
+        """Whether an open REFpb window excludes an access.
+
+        A plain REFpb occupies the whole bank.  A SARP refresh names its
+        subarray, and only same-subarray accesses collide — but when the
+        oracle lacks subarray geometry (or the access's subarray is
+        unknown) it must assume the worst and block.
+        """
+        return (
+            bank.refreshing_sa is None
+            or subarray is None
+            or subarray == bank.refreshing_sa
+        )
+
     def _observe_activate(self, cmd, rank, bank) -> None:
         t, c = self.timing, cmd.cycle
         if cmd.row is None:
             self._flag(cmd, "state", "ACT carries no row")
+        if c < bank.refresh_done and self._pb_window_blocks(
+            bank, self._row_subarray(cmd.row)
+        ):
+            self._flag(
+                cmd, "tRFCpb",
+                f"ACT to bank {cmd.bank} during its per-bank refresh "
+                f"(busy until {bank.refresh_done})",
+            )
         if bank.open_row is not None:
             self._flag(
                 cmd, "state",
@@ -279,6 +349,14 @@ class ProtocolOracle:
         t, c = self.timing, cmd.cycle
         if bank.open_row is None:
             self._flag(cmd, "state", "PRE on an idle (precharged) bank")
+        elif c < bank.refresh_done and self._pb_window_blocks(
+            bank, self._row_subarray(bank.open_row)
+        ):
+            self._flag(
+                cmd, "tRFCpb",
+                f"PRE to bank {cmd.bank} during its per-bank refresh "
+                f"(busy until {bank.refresh_done})",
+            )
         earliest = self._close_constraints(bank)
         if c < earliest:
             rule = "tRAS"
@@ -302,7 +380,16 @@ class ProtocolOracle:
         is_read = cmd.kind == "RD"
         if bank.open_row is None:
             self._flag(cmd, "state", f"{cmd.kind} to an idle bank")
-        elif cmd.row is not None and bank.open_row != cmd.row:
+        elif c < bank.refresh_done and self._pb_window_blocks(
+            bank, self._row_subarray(bank.open_row)
+        ):
+            self._flag(
+                cmd, "tRFCpb",
+                f"{cmd.kind} to bank {cmd.bank} during its per-bank "
+                f"refresh (busy until {bank.refresh_done})",
+            )
+        if bank.open_row is not None and cmd.row is not None \
+                and bank.open_row != cmd.row:
             self._flag(
                 cmd, "state",
                 f"{cmd.kind} to row {cmd.row} while row {bank.open_row} "
@@ -389,6 +476,12 @@ class ProtocolOracle:
                     cmd, "state",
                     f"REF with row {bank.open_row} open in bank {index}",
                 )
+            if c < bank.refresh_done:
+                self._flag(
+                    cmd, "tRFCpb",
+                    f"REF at {c} while bank {index} is mid per-bank "
+                    f"refresh (until {bank.refresh_done})",
+                )
             ready = bank.act_ready_after_close
             if bank.last_act is not None:
                 ready = max(ready, bank.last_act + t.tRC)
@@ -421,6 +514,90 @@ class ProtocolOracle:
         rank.refresh_done = c + t.tRFC
         rank.last_refresh = c
         rank.refresh_count += 1
+        # An all-bank refresh restores every bank's retention deadline
+        # and re-anchors its per-bank refresh schedule.
+        for bank in rank.banks:
+            bank.last_refresh = c
+            if t.tREFI is not None:
+                bank.virtual_due = c + t.tREFI
+
+    def _observe_refresh_pb(self, cmd, rank, bank) -> None:
+        t, c = self.timing, cmd.cycle
+        sa = cmd.subarray
+        if c < bank.refresh_done:
+            self._flag(
+                cmd, "tRFCpb",
+                f"REFPB at {c} while bank {cmd.bank}'s previous per-bank "
+                f"refresh is still in progress (until {bank.refresh_done})",
+            )
+        if rank.last_refpb is not None \
+                and c < rank.last_refpb + t.refpb_spacing:
+            self._flag(
+                cmd, "tRREFD",
+                f"REFPB {c - rank.last_refpb} cycles after the previous "
+                f"REFPB on rank {cmd.rank} (tRREFD={t.refpb_spacing})",
+            )
+        if bank.open_row is not None:
+            open_sa = self._row_subarray(bank.open_row)
+            if sa is None or open_sa is None or open_sa == sa:
+                self._flag(
+                    cmd, "state",
+                    f"REFPB with row {bank.open_row} open in bank "
+                    f"{cmd.bank} (colliding subarray)",
+                )
+        # A per-bank refresh is an internal activate of the target bank.
+        ready = bank.act_ready_after_close
+        if bank.last_act is not None:
+            ready = max(ready, bank.last_act + t.tRC)
+        if c < ready:
+            self._flag(
+                cmd, "refresh-setup",
+                f"REFPB at {c} before bank {cmd.bank} is activate-ready "
+                f"({ready})",
+            )
+        if rank.last_act is not None and c < rank.last_act + t.tRRD:
+            self._flag(
+                cmd, "refresh-setup",
+                f"REFPB at {c} within tRRD={t.tRRD} of an ACT",
+            )
+        if sa is not None and self.subarrays > 1 \
+                and sa != bank.refresh_count % self.subarrays:
+            self._flag(
+                cmd, "sarp-rr",
+                f"REFPB names subarray {sa} but the bank's round-robin "
+                f"expects {bank.refresh_count % self.subarrays}",
+            )
+        if t.tREFI is not None:
+            slack = MAX_POSTPONED_REFRESHES * t.tREFI
+            due = bank.virtual_due if bank.virtual_due is not None \
+                else t.tREFI
+            if c > due + slack:
+                self._flag(
+                    cmd, "tREFI",
+                    f"bank {cmd.bank} refresh {c - due} cycles past its "
+                    f"schedule position {due} (max postpone "
+                    f"{MAX_POSTPONED_REFRESHES} x tREFI = {slack})",
+                )
+            elif c < due - slack:
+                self._flag(
+                    cmd, "tREFI",
+                    f"bank {cmd.bank} refresh pulled in {due - c} cycles "
+                    f"ahead of schedule position {due} (max pull-in "
+                    f"{MAX_POSTPONED_REFRESHES} x tREFI = {slack})",
+                )
+            bank.virtual_due = due + t.tREFI
+        if cmd.data_end is not None \
+                and cmd.data_end != c + t.refpb_recovery:
+            self._flag(
+                cmd, "data-window",
+                f"traced per-bank refresh completion {cmd.data_end} != "
+                f"recomputed {c + t.refpb_recovery}",
+            )
+        bank.refresh_done = c + t.refpb_recovery
+        bank.refreshing_sa = sa
+        bank.last_refresh = c
+        bank.refresh_count += 1
+        rank.last_refpb = c
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -450,6 +627,7 @@ class ProtocolOracle:
                     "refresh_done": rank.refresh_done,
                     "last_refresh": rank.last_refresh,
                     "refresh_count": rank.refresh_count,
+                    "last_refpb": rank.last_refpb,
                     "banks": [
                         {
                             "open_row": bank.open_row,
@@ -458,6 +636,11 @@ class ProtocolOracle:
                             "last_write": bank.last_write,
                             "act_ready_after_close":
                                 bank.act_ready_after_close,
+                            "refresh_done": bank.refresh_done,
+                            "refreshing_sa": bank.refreshing_sa,
+                            "last_refresh": bank.last_refresh,
+                            "refresh_count": bank.refresh_count,
+                            "virtual_due": bank.virtual_due,
                         }
                         for bank in rank.banks
                     ],
@@ -479,6 +662,7 @@ class ProtocolOracle:
             rank.refresh_done = rank_state["refresh_done"]
             rank.last_refresh = rank_state["last_refresh"]
             rank.refresh_count = rank_state["refresh_count"]
+            rank.last_refpb = rank_state["last_refpb"]
             for bank, bank_state in zip(rank.banks, rank_state["banks"]):
                 bank.open_row = bank_state["open_row"]
                 bank.last_act = bank_state["last_act"]
@@ -487,6 +671,11 @@ class ProtocolOracle:
                 bank.act_ready_after_close = (
                     bank_state["act_ready_after_close"]
                 )
+                bank.refresh_done = bank_state["refresh_done"]
+                bank.refreshing_sa = bank_state["refreshing_sa"]
+                bank.last_refresh = bank_state["last_refresh"]
+                bank.refresh_count = bank_state["refresh_count"]
+                bank.virtual_due = bank_state["virtual_due"]
         self.violations = []
         self._recent = deque(maxlen=16)
 
@@ -497,23 +686,31 @@ class ProtocolOracle:
     def finish(self, end_cycle: int) -> List[Violation]:
         """Final refresh-deadline audit once the run has drained.
 
-        Checks that no rank ended the run with its refresh postponed
+        Checks that no *bank* ended the run with its refresh postponed
         beyond the JEDEC bound; returns (and in strict mode raises on)
-        any violations found.
+        any violations found.  The audit is per bank — an all-bank REF
+        restores every bank's deadline, a REFpb only its target's — so
+        it covers REFab and the per-bank policies uniformly.
         """
         t = self.timing
         if t.tREFI is None:
             return self.violations
-        allowed = (MAX_POSTPONED_REFRESHES + 1) * t.tREFI
+        slack = MAX_POSTPONED_REFRESHES * t.tREFI
         for index, rank in enumerate(self._ranks):
-            since = end_cycle - (rank.last_refresh or 0)
-            if since > allowed:
-                marker = TracedCommand(end_cycle, "REF", index, 0, None, None)
-                self._flag(
-                    marker, "tREFI",
-                    f"rank {index} ran {since} cycles without a refresh "
-                    f"(> {allowed}) by end of run",
-                )
+            for bank_index, bank in enumerate(rank.banks):
+                due = bank.virtual_due if bank.virtual_due is not None \
+                    else t.tREFI
+                if end_cycle > due + slack:
+                    marker = TracedCommand(
+                        end_cycle, "REF", index, bank_index, None, None
+                    )
+                    self._flag(
+                        marker, "tREFI",
+                        f"rank {index} bank {bank_index} ended the run "
+                        f"{end_cycle - due} cycles past its refresh "
+                        f"schedule position {due} (max postpone "
+                        f"{MAX_POSTPONED_REFRESHES} x tREFI = {slack})",
+                    )
         return self.violations
 
 
@@ -524,6 +721,8 @@ def attach_oracles(system, strict: bool = True) -> List[ProtocolOracle]:
     registered on ``system.oracles`` (when present) so
     ``MemorySystem.finalize`` runs their end-of-run refresh audit.
     """
+    config = getattr(system, "config", None)
+    subarrays = getattr(config, "subarrays", 1) if config else 1
     oracles = []
     for channel in system.channels:
         oracle = ProtocolOracle(
@@ -532,6 +731,8 @@ def attach_oracles(system, strict: bool = True) -> List[ProtocolOracle]:
             banks=channel.banks_per_rank,
             strict=strict,
             channel_index=channel.index,
+            subarray_rows=getattr(channel, "subarray_rows", None),
+            subarrays=subarrays,
         )
         channel.add_command_listener(oracle.observe)
         oracles.append(oracle)
@@ -547,9 +748,14 @@ def verify_commands(
     banks: int,
     commands: Iterable[TracedCommand],
     end_cycle: Optional[int] = None,
+    subarray_rows: Optional[int] = None,
+    subarrays: int = 1,
 ) -> List[Violation]:
     """Offline verification of a command schedule; returns violations."""
-    oracle = ProtocolOracle(timing, ranks, banks, strict=False)
+    oracle = ProtocolOracle(
+        timing, ranks, banks, strict=False,
+        subarray_rows=subarray_rows, subarrays=subarrays,
+    )
     last = 0
     for command in commands:
         oracle.observe(command)
@@ -564,7 +770,8 @@ def verify_trace(path: str) -> List[Violation]:
 
     trace = load_trace(path)
     return verify_commands(
-        trace.timing, trace.ranks, trace.banks, trace.commands
+        trace.timing, trace.ranks, trace.banks, trace.commands,
+        subarray_rows=trace.subarray_rows, subarrays=trace.subarrays,
     )
 
 

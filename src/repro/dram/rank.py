@@ -25,12 +25,20 @@ from repro.timebase import NEVER
 class Rank:
     """Banks plus the rank-wide activation/turnaround bookkeeping."""
 
-    def __init__(self, timing: TimingParams, index: int, banks: int) -> None:
+    def __init__(
+        self,
+        timing: TimingParams,
+        index: int,
+        banks: int,
+        subarray_rows: Optional[int] = None,
+    ) -> None:
         if banks <= 0:
             raise ProtocolError(f"rank {index}: bank count must be positive")
         self.timing = timing
         self.index = index
-        self.banks: List[Bank] = [Bank(timing, b) for b in range(banks)]
+        self.banks: List[Bank] = [
+            Bank(timing, b, subarray_rows) for b in range(banks)
+        ]
         self.ready_activate = 0          # tRRD / post-refresh gate
         self.ready_read = 0              # tWTR gate
         self._activate_times: Deque[int] = deque(maxlen=4)
@@ -49,13 +57,22 @@ class Rank:
         #: stream can re-open banks forever and starve refresh past
         #: its deadline (found by the protocol oracle).
         self.refresh_pending = False
+        #: tRREFD gate: earliest cycle the next per-bank refresh
+        #: command may issue on this rank.
+        self.refpb_ready = 0
 
     # ------------------------------------------------------------------
     # Legality
     # ------------------------------------------------------------------
 
-    def can_activate(self, cycle: int, bank: int) -> bool:
-        """True when bank ``bank`` may activate, counting rank limits."""
+    def can_activate(
+        self, cycle: int, bank: int, row: Optional[int] = None
+    ) -> bool:
+        """True when bank ``bank`` may activate, counting rank limits.
+
+        ``row`` (when known) lets the bank refine its per-bank refresh
+        gates to the row's subarray (SARP).
+        """
         if self.refresh_pending:
             return False
         if cycle < self.ready_activate:
@@ -66,7 +83,8 @@ class Rank:
             and cycle < self._activate_times[0] + self.timing.tFAW
         ):
             return False
-        return self.banks[bank].can_activate(cycle)
+        target = self.banks[bank]
+        return target.can_activate(cycle, target.subarray_of(row))
 
     def can_column(self, cycle: int, bank: int, row: int, is_read: bool) -> bool:
         """True when the column access clears rank-level turnaround."""
@@ -85,8 +103,27 @@ class Rank:
         """True when a REFRESH command may issue this cycle."""
         if not self.all_banks_idle():
             return False
+        if any(cycle < b.refresh_busy_until for b in self.banks):
+            return False  # a per-bank refresh window is still open
         ready = max((b.ready_activate for b in self.banks), default=0)
         return cycle >= max(ready, self.ready_activate)
+
+    def can_refresh_pb(
+        self, cycle: int, bank: int, subarray: Optional[int] = None
+    ) -> bool:
+        """True when a per-bank refresh of ``bank`` may issue.
+
+        Rank-level gates: the tRREFD spacing from the previous REFpb,
+        the tRRD spacing from the last activate (a REFpb is an internal
+        activate), and any in-progress all-bank refresh window.  The
+        bank-level idle/subarray rules live in
+        :meth:`~repro.dram.bank.Bank.can_refresh_pb`.
+        """
+        if cycle < self.refpb_ready or cycle < self.refresh_busy_until:
+            return False
+        if cycle < self.ready_activate:
+            return False
+        return self.banks[bank].can_refresh_pb(cycle, subarray)
 
     # ------------------------------------------------------------------
     # Earliest-ready queries (next-event engine)
@@ -96,11 +133,17 @@ class Rank:
     # clears only when the refresh engine issues (an event), so it maps
     # to NEVER rather than a cycle.
 
-    def next_activate_ready(self, bank: int) -> int:
+    def next_activate_ready(
+        self, bank: int, row: Optional[int] = None
+    ) -> int:
         """Earliest cycle :meth:`can_activate` can turn true."""
         if self.refresh_pending:
             return NEVER
-        ready = max(self.ready_activate, self.banks[bank].next_activate_ready())
+        target = self.banks[bank]
+        ready = max(
+            self.ready_activate,
+            target.next_activate_ready(target.subarray_of(row)),
+        )
         if self.timing.tFAW is not None and len(self._activate_times) == 4:
             ready = max(ready, self._activate_times[0] + self.timing.tFAW)
         return ready
@@ -126,7 +169,25 @@ class Rank:
         if not self.all_banks_idle():
             return NEVER
         ready = max((b.ready_activate for b in self.banks), default=0)
+        ready = max(
+            ready,
+            max((b.refresh_busy_until for b in self.banks), default=0),
+        )
         return max(ready, self.ready_activate)
+
+    def next_refresh_pb_ready(
+        self, bank: int, subarray: Optional[int] = None
+    ) -> int:
+        """Earliest cycle :meth:`can_refresh_pb` can turn true."""
+        ready = self.banks[bank].next_refresh_pb_ready(subarray)
+        if ready == NEVER:
+            return NEVER
+        return max(
+            ready,
+            self.refpb_ready,
+            self.refresh_busy_until,
+            self.ready_activate,
+        )
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -142,6 +203,7 @@ class Rank:
             "refresh_count": self.refresh_count,
             "refresh_busy_until": self.refresh_busy_until,
             "refresh_pending": self.refresh_pending,
+            "refpb_ready": self.refpb_ready,
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -153,6 +215,7 @@ class Rank:
         self.refresh_count = state["refresh_count"]
         self.refresh_busy_until = state["refresh_busy_until"]
         self.refresh_pending = state["refresh_pending"]
+        self.refpb_ready = state["refpb_ready"]
         self.ver += 1  # loaded fields invalidate any cached view
 
     # ------------------------------------------------------------------
@@ -160,7 +223,7 @@ class Rank:
     # ------------------------------------------------------------------
 
     def activate(self, cycle: int, bank: int, row: int) -> None:
-        if not self.can_activate(cycle, bank):
+        if not self.can_activate(cycle, bank, row):
             raise ProtocolError(
                 f"rank {self.index}: illegal ACTIVATE bank={bank} "
                 f"at cycle {cycle}"
@@ -210,6 +273,27 @@ class Rank:
             bank.apply_refresh(done)
         self.ready_activate = max(self.ready_activate, done)
         self.refresh_busy_until = done
+        self.refresh_count += 1
+        self.ver += 1
+        return done
+
+    def refresh_pb(
+        self, cycle: int, bank: int, subarray: Optional[int] = None
+    ) -> int:
+        """Per-bank refresh of ``bank``; returns the cycle it completes.
+
+        Only the target bank is occupied (for ``tRFCpb`` cycles); the
+        rank records the tRREFD spacing gate.  A REFpb does not count
+        against tFAW and leaves ``ready_activate`` alone — other banks
+        keep activating freely, which is the whole point of REFpb.
+        """
+        if not self.can_refresh_pb(cycle, bank, subarray):
+            raise ProtocolError(
+                f"rank {self.index}: illegal REFpb bank={bank} "
+                f"at cycle {cycle}"
+            )
+        done = self.banks[bank].apply_refresh_pb(cycle, subarray)
+        self.refpb_ready = cycle + self.timing.refpb_spacing
         self.refresh_count += 1
         self.ver += 1
         return done

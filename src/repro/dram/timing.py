@@ -24,7 +24,16 @@ tCCD      column command to column command, same rank
 tRTRS     rank-to-rank data bus turnaround (DDR2, paper ref [8])
 tREFI     average refresh interval (refresh becomes due)
 tRFC      refresh cycle time (rank busy after REFRESH)
+tRFCpb    per-bank refresh cycle time (bank busy after REFpb)
+tRREFD    REFpb-to-REFpb spacing, different banks, same rank
 ========  =====================================================
+
+``tRFCpb``/``tRREFD`` govern the per-bank refresh commands (LPDDR
+REFpb semantics, adopted by the HPCA 2014 refresh-parallelism work):
+a REFpb occupies only its target bank for ``tRFCpb`` cycles and
+consecutive REFpb commands on one rank must be ``tRREFD`` apart.
+When left unset they derive from the all-bank numbers — see
+:attr:`TimingParams.refpb_recovery` / :attr:`TimingParams.refpb_spacing`.
 """
 
 from __future__ import annotations
@@ -62,6 +71,13 @@ class TimingParams:
     tFAW: Optional[int] = None
     tREFI: Optional[int] = None
     tRFC: int = 0
+    #: Per-bank refresh recovery / spacing.  ``None`` derives both from
+    #: the all-bank numbers (see ``refpb_recovery`` / ``refpb_spacing``)
+    #: so every preset and every ``replace()``-built variant stays
+    #: self-consistent; experiments sweeping densities set them
+    #: explicitly.
+    tRFCpb: Optional[int] = None
+    tRREFD: Optional[int] = None
     clock_mhz: int = 400
 
     def __post_init__(self) -> None:
@@ -111,6 +127,19 @@ class TimingParams:
                 raise ConfigError(
                     f"tRFC ({self.tRFC}) must be < tREFI ({self.tREFI})"
                 )
+        if self.tRFCpb is not None:
+            if self.tRFCpb <= 0:
+                raise ConfigError(
+                    f"tRFCpb must be positive, got {self.tRFCpb}"
+                )
+            if self.tRFC and self.tRFCpb > self.tRFC:
+                raise ConfigError(
+                    f"tRFCpb ({self.tRFCpb}) must be <= tRFC ({self.tRFC})"
+                )
+        if self.tRREFD is not None and self.tRREFD <= 0:
+            raise ConfigError(
+                f"tRREFD must be positive, got {self.tRREFD}"
+            )
 
     @property
     def tRC(self) -> int:
@@ -121,6 +150,33 @@ class TimingParams:
     def data_cycles(self) -> int:
         """Clock cycles one burst occupies on the data bus (DDR)."""
         return self.burst_length // 2
+
+    @property
+    def refpb_recovery(self) -> int:
+        """Effective tRFCpb: cycles a bank is busy after a REFpb.
+
+        A per-bank refresh restores one bank's worth of rows, so when
+        no explicit ``tRFCpb`` is given it derives as half the all-bank
+        ``tRFC`` (JEDEC LPDDR4 sits near that ratio).  Zero when the
+        device has refresh disabled.
+        """
+        if self.tRFCpb is not None:
+            return self.tRFCpb
+        if self.tREFI is None or self.tRFC <= 0:
+            return 0
+        return max(1, (self.tRFC + 1) // 2)
+
+    @property
+    def refpb_spacing(self) -> int:
+        """Effective tRREFD: min gap between REFpb commands on a rank.
+
+        Derives as the activate-to-activate spacing ``tRRD`` when no
+        explicit ``tRREFD`` is given — a REFpb is an internally
+        generated activate burst on one bank.
+        """
+        if self.tRREFD is not None:
+            return self.tRREFD
+        return max(1, self.tRRD)
 
     @property
     def read_to_precharge(self) -> int:

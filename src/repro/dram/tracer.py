@@ -75,7 +75,7 @@ class ChannelTracer:
         ends = [
             c.data_end
             for c in self.commands
-            if c.data_end is not None and c.kind != "REF"
+            if c.data_end is not None and c.kind not in ("REF", "REFPB")
         ]
         return max(ends) if ends else 0
 
@@ -91,6 +91,10 @@ class TraceFile:
     ranks: int
     banks: int
     commands: List[TracedCommand]
+    #: Rows per subarray, when the traced system modelled subarrays
+    #: (SARP); None for traces from subarray-oblivious runs.
+    subarray_rows: "int | None" = None
+    subarrays: int = 1
 
 
 def save_trace(
@@ -99,6 +103,8 @@ def save_trace(
     timing: TimingParams,
     ranks: int,
     banks: int,
+    subarray_rows: "int | None" = None,
+    subarrays: int = 1,
 ) -> None:
     """Write a command schedule as a JSON-lines trace file.
 
@@ -112,6 +118,8 @@ def save_trace(
             "timing": asdict(timing),
             "ranks": ranks,
             "banks": banks,
+            "subarray_rows": subarray_rows,
+            "subarrays": subarrays,
         }
         handle.write(json.dumps(header) + "\n")
         for command in commands:
@@ -134,7 +142,11 @@ def load_trace(path: str) -> TraceFile:
         ]
     except (KeyError, TypeError, ValueError) as error:
         raise TraceError(f"{path}: malformed trace file: {error}") from None
-    return TraceFile(timing, header["ranks"], header["banks"], commands)
+    return TraceFile(
+        timing, header["ranks"], header["banks"], commands,
+        subarray_rows=header.get("subarray_rows"),
+        subarrays=header.get("subarrays", 1),
+    )
 
 
 def trace_system(system) -> List[ChannelTracer]:

@@ -16,6 +16,7 @@ fig10      normalized execution time per benchmark (Fig. 10)
 fig11      outstanding accesses vs threshold, swim (Fig. 11)
 fig12      latency & execution time vs threshold (Fig. 12)
 saturation write queue saturation rates, swim (§5.1)
+refresh_pressure density x refresh policy x mechanism (HPCA 2014)
 ========== ==========================================================
 """
 
@@ -27,6 +28,7 @@ from repro.experiments import (  # noqa: F401  (registry import)
     fig10,
     fig11,
     fig12,
+    refresh_pressure,
     saturation,
     table1,
 )
@@ -41,6 +43,7 @@ EXPERIMENTS = {
     "fig10": fig10,
     "fig11": fig11,
     "fig12": fig12,
+    "refresh_pressure": refresh_pressure,
     "saturation": saturation,
 }
 

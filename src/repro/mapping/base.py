@@ -23,6 +23,15 @@ class DecodedAddress:
         """Hashable identity of the target bank across the system."""
         return (self.channel, self.rank, self.bank)
 
+    def subarray(self, subarray_rows: int) -> int:
+        """The bank subarray holding :attr:`row` (SARP geometry).
+
+        Subarrays partition a bank's rows into equal contiguous groups;
+        ``subarray_rows`` is ``config.rows // config.subarrays`` (see
+        :attr:`~repro.mapping.base.AddressMapping.subarray_rows`).
+        """
+        return self.row // subarray_rows if subarray_rows else 0
+
 
 def _bits(value: int) -> int:
     """Bit width of a power-of-two field size (0 for size 1)."""
@@ -48,6 +57,9 @@ class AddressMapping(abc.ABC):
         self.rank_bits = _bits(config.ranks)
         self.bank_bits = _bits(config.banks)
         self.row_bits = _bits(config.rows)
+        self.subarray_bits = _bits(config.subarrays)
+        #: Rows per subarray; feeds :meth:`DecodedAddress.subarray`.
+        self.subarray_rows = config.rows // config.subarrays
         self.address_bits = (
             self.line_bits
             + self.column_bits

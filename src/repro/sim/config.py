@@ -24,6 +24,11 @@ CLOSE_PAGE_AUTOPRECHARGE = "close_page_autoprecharge"
 PREDICTIVE = "predictive"
 ROW_POLICIES = (OPEN_PAGE, CLOSE_PAGE_AUTOPRECHARGE, PREDICTIVE)
 
+#: Refresh mechanisms: all-bank auto-refresh (the DDR2 baseline), JEDEC
+#: per-bank refresh, and the two refresh/access parallelization
+#: mechanisms of Chang et al. (HPCA 2014) built on top of REFpb.
+REFRESH_POLICIES = ("REFab", "REFpb", "DARP", "SARP")
+
 
 @dataclass(frozen=True)
 class CPUConfig:
@@ -68,6 +73,11 @@ class SystemConfig:
     threshold: int = 52
     row_policy: str = OPEN_PAGE
     mapping: str = "page_interleave"
+    #: Subarrays per bank (SARP geometry); rows split into equal
+    #: contiguous groups.  Only SARP distinguishes them.
+    subarrays: int = 8
+    #: Refresh mechanism, one of :data:`REFRESH_POLICIES`.
+    refresh_policy: str = "REFab"
     cpu: CPUConfig = field(default_factory=CPUConfig)
 
     def __post_init__(self) -> None:
@@ -108,6 +118,21 @@ class SystemConfig:
                     f"{label} must be a power of two for address mapping, "
                     f"got {value}"
                 )
+        if self.subarrays <= 0 or self.subarrays & (self.subarrays - 1):
+            raise ConfigError(
+                f"subarrays must be a positive power of two, "
+                f"got {self.subarrays}"
+            )
+        if self.subarrays > self.rows:
+            raise ConfigError(
+                f"subarrays ({self.subarrays}) cannot exceed rows "
+                f"({self.rows})"
+            )
+        if self.refresh_policy not in REFRESH_POLICIES:
+            raise ConfigError(
+                f"refresh_policy must be one of {REFRESH_POLICIES}, "
+                f"got {self.refresh_policy!r}"
+            )
 
     # ------------------------------------------------------------------
     # Derived geometry
@@ -117,6 +142,11 @@ class SystemConfig:
     def columns_per_row(self) -> int:
         """Cache-line-sized columns in one row (128 for 8KB/64B)."""
         return self.row_bytes // self.line_bytes
+
+    @property
+    def subarray_rows(self) -> int:
+        """Rows per subarray (both fields are powers of two)."""
+        return self.rows // self.subarrays
 
     @property
     def total_banks(self) -> int:
@@ -183,6 +213,7 @@ __all__ = [
     "CLOSE_PAGE_AUTOPRECHARGE",
     "CPUConfig",
     "OPEN_PAGE",
+    "REFRESH_POLICIES",
     "ROW_POLICIES",
     "SystemConfig",
     "baseline_config",

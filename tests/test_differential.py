@@ -198,6 +198,31 @@ def test_differential_with_auto_refresh(workload):
         )
 
 
+@given(
+    workload=workloads(),
+    policy=st.sampled_from(["REFpb", "DARP", "SARP"]),
+)
+@settings(deadline=None)
+def test_differential_with_per_bank_refresh(workload, policy):
+    """Per-bank refresh policies uphold the same invariants: zero
+    protocol violations (the oracle's REFpb rulebook watching) and
+    program-order read-observes-write tokens under every mechanism."""
+    config = replace(
+        _config(FAST_REFRESH), refresh_policy=policy, subarrays=4
+    )
+    requests = _encode(config, workload)
+    expected = _expected_tokens(requests)
+    for name in MECHANISMS:
+        observed, violations = _run_mechanism(name, config, requests)
+        assert not violations, (
+            f"{name}/{policy}: protocol violations:\n"
+            + "\n".join(str(v) for v in violations)
+        )
+        assert observed == expected, (
+            f"{name}: outcome diverged under {policy}"
+        )
+
+
 def test_conservation_counts():
     """Every request is accounted for in the statistics, per mechanism."""
     config = _config(QUIET)

@@ -50,6 +50,7 @@ def test_registry_lists_every_paper_artifact():
         "fig11",
         "fig12",
         "saturation",
+        "refresh_pressure",
     }
     for module in EXPERIMENTS.values():
         assert callable(module.run)
