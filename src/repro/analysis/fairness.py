@@ -1,4 +1,4 @@
-"""Per-core fairness analysis for multiprogrammed mixes (§6).
+"""Fairness analysis: per-core mix views (§6) and fleet-mode metrics.
 
 A CMP mix (:mod:`repro.workloads.mixes`) gives each core a private
 1 GB address slice, and the controller records read latency per slice.
@@ -10,11 +10,24 @@ mean latency, the max/min latency ratio, and the Jain fairness index
 computed over per-core *service rates* (1/latency), so J = 1 means
 every core's reads are served equally fast and J -> 1/n means one
 core monopolises the controller.
+
+Fleet mode adds first-class per-source statistics
+(:class:`~repro.sim.stats.SourceStats`), and with them the standard
+multiprogram metrics against *solo-run* baselines (each tenant run
+alone on the same machine and mechanism):
+
+* ``weighted_speedup`` — ``(1/K) * sum(solo_i / shared_i)`` over a
+  per-tenant cost metric (mean read latency here); 1.0 means sharing
+  cost nothing, lower means contention.
+* ``max_slowdown`` — ``max(shared_i / solo_i)``, the victim's view;
+  the QoS schedulers exist to pull this down.
+* ``jain_index`` — the Jain formula over any per-tenant rate vector
+  (bounded in ``[1/n, 1]``).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterable
 
 from repro.errors import ConfigError
 from repro.sim.stats import SimStats
@@ -53,4 +66,84 @@ def jain_fairness(stats: SimStats) -> float:
     return (total * total) / (len(rates) * squares)
 
 
-__all__ = ["jain_fairness", "latency_disparity", "per_core_read_latency"]
+# ----------------------------------------------------------------------
+# Fleet-mode metrics (per-source stats, solo-run baselines)
+# ----------------------------------------------------------------------
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain fairness index of a rate vector; bounded in ``[1/n, 1]``."""
+    rates = [float(v) for v in values]
+    if not rates:
+        raise ConfigError("jain_index needs at least one value")
+    if any(rate < 0 for rate in rates):
+        raise ConfigError("jain_index is defined over non-negative rates")
+    total = sum(rates)
+    squares = sum(rate * rate for rate in rates)
+    if squares == 0:
+        return 1.0  # all-zero vector: perfectly (if vacuously) fair
+    return (total * total) / (len(rates) * squares)
+
+
+def per_source_read_latency(stats: SimStats) -> Dict[int, float]:
+    """Mean read latency per tenant, from the per-source stats."""
+    return {
+        source: stat.read_latency.mean
+        for source, stat in sorted(stats.per_source.items())
+        if stat.read_latency.count
+    }
+
+
+def per_source_service_rate(stats: SimStats, cycles: int) -> Dict[int, float]:
+    """Completed accesses per cycle per tenant over a ``cycles`` run."""
+    if cycles <= 0:
+        raise ConfigError("service rate needs a positive cycle count")
+    return {
+        source: stat.service_rate(cycles)
+        for source, stat in sorted(stats.per_source.items())
+    }
+
+
+def _check_baselines(
+    solo: Dict[int, float], shared: Dict[int, float]
+) -> None:
+    if not shared:
+        raise ConfigError("no per-tenant metrics in fairness input")
+    missing = sorted(set(shared) - set(solo))
+    if missing:
+        raise ConfigError(f"no solo baselines for sources {missing}")
+    bad = sorted(s for s in shared if solo[s] <= 0 or shared[s] <= 0)
+    if bad:
+        raise ConfigError(f"non-positive metric for sources {bad}")
+
+
+def weighted_speedup(
+    solo: Dict[int, float], shared: Dict[int, float]
+) -> float:
+    """``(1/K) * sum(solo_i / shared_i)`` over a per-tenant cost.
+
+    Both dicts map source id to a *cost* metric (e.g. mean read
+    latency): values rise when a tenant runs slower, so each ratio is
+    that tenant's speedup relative to running alone and 1.0 means
+    sharing was free.
+    """
+    _check_baselines(solo, shared)
+    return sum(solo[s] / shared[s] for s in shared) / len(shared)
+
+
+def max_slowdown(solo: Dict[int, float], shared: Dict[int, float]) -> float:
+    """``max(shared_i / solo_i)`` — the worst-treated tenant's slowdown."""
+    _check_baselines(solo, shared)
+    return max(shared[s] / solo[s] for s in shared)
+
+
+__all__ = [
+    "jain_fairness",
+    "jain_index",
+    "latency_disparity",
+    "max_slowdown",
+    "per_core_read_latency",
+    "per_source_read_latency",
+    "per_source_service_rate",
+    "weighted_speedup",
+]

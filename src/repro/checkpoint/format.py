@@ -47,7 +47,7 @@ from repro.errors import CheckpointMismatchError
 #: state_dict payload.  Folded into the experiment runner's
 #: code-version digest, so stale runner checkpoints (and cached cells
 #: keyed on serialization behaviour) invalidate automatically.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 class SaveContext:

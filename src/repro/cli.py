@@ -98,6 +98,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--row-policy", default="open_page", choices=ROW_POLICIES
     )
     parser.add_argument(
+        "--sources", type=int, default=1, metavar="K",
+        help=(
+            "tenant sources the machine is provisioned for (sizes the "
+            "per-source quotas of the QoS mechanisms Burst_QW/Burst_QB "
+            "and the checkpoint fingerprint; the adversarial fleet "
+            "matrix itself runs via 'repro-experiments fleet')"
+        ),
+    )
+    parser.add_argument(
         "--cpu", default="ooo", choices=("ooo", "inorder"),
         help="CPU model: out-of-order ROB (paper) or blocking in-order",
     )
@@ -162,8 +171,8 @@ def _make_trace(args):
 #: the exact run without any source arguments.
 _META_FIELDS = (
     "benchmark", "mix", "micro", "trace", "mechanism", "accesses",
-    "seed", "threshold", "device", "mapping", "row_policy", "cpu",
-    "oracle",
+    "seed", "threshold", "device", "mapping", "row_policy", "sources",
+    "cpu", "oracle",
 )
 
 
@@ -192,6 +201,7 @@ def _run(args):
         timing=DEVICES[args.device],
         mapping=args.mapping,
         row_policy=args.row_policy,
+        sources=args.sources,
     )
     if args.threshold is not None:
         config = config.with_threshold(args.threshold)

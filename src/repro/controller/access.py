@@ -95,6 +95,7 @@ class MemoryAccess:
         "forwarded",
         "preempted",
         "piggybacked",
+        "source",
     )
 
     def __init__(
@@ -104,6 +105,7 @@ class MemoryAccess:
         decoded: DecodedAddress,
         arrival: int,
         subarray: int = 0,
+        source: int = 0,
     ) -> None:
         self.id = _allocate_id()
         self.type = type
@@ -121,6 +123,8 @@ class MemoryAccess:
         self.forwarded = False
         self.preempted = False
         self.piggybacked = False
+        #: Tenant / stream id in fleet mode (0 for single-stream runs).
+        self.source = source
 
     @property
     def is_read(self) -> bool:
@@ -162,6 +166,7 @@ class MemoryAccess:
             "forwarded": self.forwarded,
             "preempted": self.preempted,
             "piggybacked": self.piggybacked,
+            "source": self.source,
         }
 
     @classmethod
@@ -185,6 +190,7 @@ class MemoryAccess:
         access.forwarded = state["forwarded"]
         access.preempted = state["preempted"]
         access.piggybacked = state["piggybacked"]
+        access.source = state.get("source", 0)
         return access
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -128,6 +128,17 @@ class Scheduler(abc.ABC):
     # search is common to every mechanism with a write buffer)
     # ------------------------------------------------------------------
 
+    def admits(self, access: MemoryAccess, cycle: int) -> bool:
+        """Mechanism-level admission control (QoS quota hook).
+
+        Consulted by :class:`~repro.controller.system.MemorySystem`
+        alongside the pool capacity check; returning False rejects the
+        access exactly like a full pool (``REJECTED_FULL``, no side
+        effects), so the CPU/driver retries later.  The default admits
+        everything — only QoS variants override this.
+        """
+        return True
+
     def enqueue(self, access: MemoryAccess, cycle: int) -> EnqueueStatus:
         """Admit ``access``; pool capacity was already checked upstream."""
         if access.is_read:
@@ -138,6 +149,7 @@ class Scheduler(abc.ABC):
                 access.forwarded = True
                 access.complete_cycle = cycle
                 self.stats.forwarded_reads += 1
+                self.stats.for_source(access.source).forwarded_reads += 1
                 return EnqueueStatus.FORWARDED
             self.pool.add(access)
             self._reads_by_addr[access.address] = (
@@ -467,6 +479,9 @@ class Scheduler(abc.ABC):
                 access.rank, access.bank, access.row
             )
             self.stats.row_states[access.row_state] += 1
+            self.stats.for_source(access.source).row_states[
+                access.row_state
+            ] += 1
             if self.row_predictor is not None:
                 self.row_predictor.observe(access, access.row_state)
         kind = self.next_command_kind(access)
@@ -487,18 +502,25 @@ class Scheduler(abc.ABC):
                 access.is_read,
                 auto_precharge,
                 column=access.column,
+                source=access.source,
             )
             access.complete_cycle = data_end
+            self.stats.for_source(access.source).data_bus_cycles += (
+                self.channel.timing.data_cycles
+            )
             heapq.heappush(
                 self._completions, (data_end, access.id, access)
             )
             if access.is_write:
                 self._finish_write_bookkeeping(access)
         elif kind is PRECHARGE:
-            self.channel.issue_precharge(cycle, access.rank, access.bank)
+            self.channel.issue_precharge(
+                cycle, access.rank, access.bank, source=access.source
+            )
         else:
             self.channel.issue_activate(
-                cycle, access.rank, access.bank, access.row
+                cycle, access.rank, access.bank, access.row,
+                source=access.source,
             )
         return kind
 
@@ -513,8 +535,12 @@ class Scheduler(abc.ABC):
         self._bank_writes[
             access.rank * self._banks_per_rank + access.bank
         ] -= 1
-        self.stats.write_latency.add(access.complete_cycle - access.arrival)
+        latency = access.complete_cycle - access.arrival
+        self.stats.write_latency.add(latency)
         self.stats.completed_writes += 1
+        per_source = self.stats.for_source(access.source)
+        per_source.write_latency.add(latency)
+        per_source.completed_writes += 1
         if access.piggybacked:
             self.stats.piggybacked_writes += 1
 
@@ -539,6 +565,10 @@ class Scheduler(abc.ABC):
             slice_stats[key] = LatencyStat()
         slice_stats[key].add(latency)
         self.stats.completed_reads += 1
+        per_source = self.stats.for_source(access.source)
+        per_source.read_latency.add(latency)
+        per_source.read_latencies.add(latency)
+        per_source.completed_reads += 1
 
     def write_is_war_blocked(self, access: MemoryAccess) -> bool:
         """True when an older read to the same address is still queued.

@@ -76,6 +76,7 @@ class FlatSlots:
         "banks",
         "ranks",
         "acc",
+        "src",
         "kind",
         "core",
         "bstamp",
@@ -110,6 +111,10 @@ class FlatSlots:
         #: Bits needed to pack a slot index into the low end of a key.
         self._slot_bits = max(n - 1, 1).bit_length()
         self.acc: List[Optional[object]] = [None] * n
+        #: Source (tenant) id of each slot's ongoing access; -1 when
+        #: the slot is free.  Fleet-mode observers read per-tenant bank
+        #: occupancy from here without touching the object model.
+        self.src = [-1] * n
         self.kind = [0] * n
         self.core = [0] * n
         self.bstamp = [-1] * n
@@ -127,6 +132,7 @@ class FlatSlots:
         """Empty every slot (checkpoint-load rebuild entry point)."""
         n = self.n
         self.acc = [None] * n
+        self.src = [-1] * n
         self.bstamp = [-1] * n
         self.rstamp = [-1] * n
         if self.use_numpy:
@@ -145,6 +151,8 @@ class FlatSlots:
         explicitly.
         """
         self.acc[slot] = access
+        # getattr: the age-matrix unit tests install minimal stubs.
+        self.src[slot] = getattr(access, "source", 0)
         self.bstamp[slot] = -1  # device ver is never negative: recompute
         self.ready[slot] = NEVER
         bit = 1 << slot
@@ -180,6 +188,7 @@ class FlatSlots:
         — bound slots have no age row.
         """
         self.acc[slot] = access
+        self.src[slot] = getattr(access, "source", 0)
         self.bstamp[slot] = -1  # device ver is never negative: recompute
         self.occupied |= 1 << slot
 
@@ -193,6 +202,7 @@ class FlatSlots:
         reappear in a query.
         """
         self.acc[slot] = None
+        self.src[slot] = -1
         self.ready[slot] = NEVER
         self.occupied &= ~(1 << slot)
 

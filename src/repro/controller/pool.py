@@ -30,6 +30,11 @@ class AccessPool:
         self.write_capacity = write_capacity
         self.read_count = 0
         self.write_count = 0
+        #: Per-source write occupancy (fleet mode).  Only sources with
+        #: a write currently pooled have an entry; single-stream runs
+        #: keep everything under source 0.  The QoS quota scheduler
+        #: reads this to cap any one tenant's share of the write queue.
+        self.write_count_by_source: dict = {}
         #: Bumped on every *write* occupancy change.  The only shared
         #: pool state schedulers read is the write side (the Burst_TH
         #: threshold, write-queue saturation, Intel's watermarks), so
@@ -68,8 +73,14 @@ class AccessPool:
         if access.is_write:
             self.write_count += 1
             self.write_version += 1
+            by_source = self.write_count_by_source
+            by_source[access.source] = by_source.get(access.source, 0) + 1
         else:
             self.read_count += 1
+
+    def source_write_count(self, source: int) -> int:
+        """How many pooled writes belong to one tenant right now."""
+        return self.write_count_by_source.get(source, 0)
 
     def state_dict(self) -> dict:
         """Occupancy counters plus the gate-stamp write version."""
@@ -77,12 +88,19 @@ class AccessPool:
             "read_count": self.read_count,
             "write_count": self.write_count,
             "write_version": self.write_version,
+            "write_count_by_source": sorted(
+                [s, n] for s, n in self.write_count_by_source.items()
+            ),
         }
 
     def load_state_dict(self, state: dict) -> None:
         self.read_count = state["read_count"]
         self.write_count = state["write_count"]
         self.write_version = state["write_version"]
+        self.write_count_by_source = {
+            source: count
+            for source, count in state.get("write_count_by_source", [])
+        }
 
     def remove(self, access: MemoryAccess) -> None:
         if access.is_write:
@@ -90,6 +108,16 @@ class AccessPool:
                 raise PoolError("write pool underflow")
             self.write_count -= 1
             self.write_version += 1
+            by_source = self.write_count_by_source
+            left = by_source.get(access.source, 0) - 1
+            if left < 0:
+                raise PoolError(
+                    f"write pool underflow for source {access.source}"
+                )
+            if left:
+                by_source[access.source] = left
+            else:
+                by_source.pop(access.source, None)
         else:
             if self.read_count <= 0:
                 raise PoolError("read pool underflow")

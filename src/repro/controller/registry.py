@@ -78,6 +78,18 @@ def _burst_dyn(config, channel, pool, stats):
     return DynamicThresholdBurstScheduler(config, channel, pool, stats)
 
 
+def _burst_qw(config, channel, pool, stats):
+    from repro.core.qos import WriteQuotaBurstScheduler
+
+    return WriteQuotaBurstScheduler(config, channel, pool, stats)
+
+
+def _burst_qb(config, channel, pool, stats):
+    from repro.core.qos import BurstBudgetScheduler
+
+    return BurstBudgetScheduler(config, channel, pool, stats)
+
+
 def _fcfs(config, channel, pool, stats):
     from repro.controller.fcfs import FCFSScheduler
 
@@ -107,11 +119,15 @@ MECHANISMS: Dict[str, SchedulerFactory] = {
 #: Extensions beyond Table 4 (not part of the paper's comparisons):
 #: Burst_DYN is the §7 dynamic threshold; FCFS is the fully serialised
 #: reference floor; AHB is the adaptive history-based scheduler of the
-#: paper's related work (§2.2, Hur & Lin MICRO'04).
+#: paper's related work (§2.2, Hur & Lin MICRO'04); Burst_QW/Burst_QB
+#: are the multi-tenant QoS variants (per-source write-queue quota and
+#: per-source burst-slot budget — both ≡ Burst_TH when sources == 1).
 EXTENSIONS: Dict[str, SchedulerFactory] = {
     "Burst_DYN": _burst_dyn,
     "FCFS": _fcfs,
     "AHB": _ahb,
+    "Burst_QW": _burst_qw,
+    "Burst_QB": _burst_qb,
 }
 MECHANISMS.update(EXTENSIONS)
 

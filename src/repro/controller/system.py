@@ -131,9 +131,13 @@ class MemorySystem:
     # ------------------------------------------------------------------
 
     def make_access(
-        self, type: AccessType, address: int, cycle: int
+        self, type: AccessType, address: int, cycle: int, source: int = 0
     ) -> MemoryAccess:
-        """Build an access with device coordinates for ``address``."""
+        """Build an access with device coordinates for ``address``.
+
+        ``source`` is the tenant id in fleet mode (0 for the classic
+        single-stream drivers).
+        """
         decoded = self.mapping.decode(address)
         return MemoryAccess(
             type,
@@ -141,11 +145,19 @@ class MemorySystem:
             decoded,
             cycle,
             decoded.subarray(self.mapping.subarray_rows),
+            source=source,
         )
 
     def can_accept(self, access: MemoryAccess) -> bool:
-        """Room in the pool (and write queue) for this access now?"""
-        return self.pool.can_accept(access)
+        """Room in the pool (and write queue) for this access now?
+
+        Also consults the target scheduler's QoS admission hook
+        (:meth:`~repro.controller.base.Scheduler.admits`): a tenant at
+        its write-queue quota is rejected exactly like a full pool.
+        """
+        return self.pool.can_accept(access) and self.schedulers[
+            access.channel
+        ].admits(access, self.cycle)
 
     def enqueue(self, access: MemoryAccess, cycle: int) -> EnqueueStatus:
         """Present ``access`` to its channel's scheduler.
@@ -156,13 +168,16 @@ class MemorySystem:
         or write queue is saturated; the CPU must stall and retry —
         the pipeline-stall coupling of §5.1.
         """
-        if not self.pool.can_accept(access):
-            # Pool-full rejection mutates nothing, so any established
-            # quiet-cycle fixpoint survives it.
+        scheduler = self.schedulers[access.channel]
+        if not self.pool.can_accept(access) or not scheduler.admits(
+            access, cycle
+        ):
+            # Pool-full (or quota) rejection mutates nothing, so any
+            # established quiet-cycle fixpoint survives it.
             return EnqueueStatus.REJECTED_FULL
         access.arrival = cycle
         self._quiet_until = -1
-        return self.schedulers[access.channel].enqueue(access, cycle)
+        return scheduler.enqueue(access, cycle)
 
     def tick(self) -> List[MemoryAccess]:
         """Advance one memory cycle; returns reads whose data returned.

@@ -279,6 +279,36 @@ class BurstScheduler(Scheduler):
                 return access
         return None
 
+    def _select_read_burst(self, key: BankKey, reads: BurstQueue, cycle: int):
+        """Pick the burst to serve when Figure 5 selects a read.
+
+        Called at the line-8 selection and the line-9 preemption sites,
+        for both the sequential and the flat-mirror arbiter (they share
+        :meth:`_arbitrate`).  The paper's mechanism always serves the
+        oldest burst; the QoS budget variant overrides this to
+        round-robin burst grants across sources.
+        """
+        return reads.next_burst
+
+    def _write_pressure(self) -> bool:
+        """Figure 5 line 2's "write queue is full" signal.
+
+        The QoS write-quota variant widens this to "any tenant is at
+        its quota" — for one tenant the quota IS the whole queue, so
+        the base signal is the degenerate case.
+        """
+        return self.pool.write_queue_full
+
+    def _pressure_write(self, key: BankKey) -> Optional[MemoryAccess]:
+        """The write line 3 drains while :meth:`_write_pressure` holds.
+
+        The paper drains the oldest write of the bank; the QoS
+        write-quota variant narrows this to the blocking tenant's
+        writes so the drain actually frees the quota that raised the
+        pressure.
+        """
+        return self._oldest_write(key)
+
     def _arbitrate(self, key: BankKey, cycle: int = 0) -> None:
         """One bank-arbiter step; mirrors Figure 5 line by line."""
         ongoing = self._ongoing[key]
@@ -287,8 +317,8 @@ class BurstScheduler(Scheduler):
         write_occupancy = self.pool.write_count
         if ongoing is None:
             selected: Optional[MemoryAccess] = None
-            if self.pool.write_queue_full:                 # line 2
-                selected = self._oldest_write(key)         # line 3
+            if self._write_pressure():                     # line 2
+                selected = self._pressure_write(key)       # line 3
             # Paper §4/§5.4 boundary: WP engages when the write queue
             # occupancy is *at or above* the threshold, RP only below
             # it — at exactly TH the queue is considered saturated
@@ -316,7 +346,8 @@ class BurstScheduler(Scheduler):
                     reads.promote_for_policy(
                         self.inter_burst_policy, cycle
                     )
-                selected = reads.next_burst.head            # line 8
+                burst = self._select_read_burst(key, reads, cycle)
+                selected = burst.head                       # line 8
                 self._end_of_burst[key] = False
             self._ongoing[key] = selected
         elif (
@@ -331,7 +362,9 @@ class BurstScheduler(Scheduler):
             # row empty (§5.2).
             ongoing.preempted = True
             self.stats.preemptions += 1
-            self._ongoing[key] = reads.next_burst.head
+            self._ongoing[key] = self._select_read_burst(
+                key, reads, cycle
+            ).head
             self._end_of_burst[key] = False
 
     # ------------------------------------------------------------------
@@ -355,7 +388,11 @@ class BurstScheduler(Scheduler):
         self._pending -= 1
         if access.is_read:
             queue = self._read_queues[key]
-            ended = queue.finish_head_read()
+            # finish_read retires the head of *the access's own* burst;
+            # for the paper mechanisms that is always the head burst
+            # (== finish_head_read), but the QoS budget variant may be
+            # serving a burst from the middle of the queue.
+            ended = queue.finish_read(access)
             if ended:
                 self._end_of_burst[key] = True
                 self.stats.burst_sizes.add(queue.last_completed_size)

@@ -315,17 +315,38 @@ class Channel:
         for rank, payload in zip(self.ranks, state["ranks"]):
             rank.load_state_dict(payload)
 
-    def issue_activate(self, cycle: int, rank: int, bank: int, row: int) -> None:
+    def issue_activate(
+        self,
+        cycle: int,
+        rank: int,
+        bank: int,
+        row: int,
+        source: Optional[int] = None,
+    ) -> None:
         self._claim_cmd_bus(cycle)
         self.ranks[rank].activate(cycle, bank, row)
         if self._listeners:
-            self._emit(TracedCommand(cycle, "ACT", rank, bank, row, None))
+            self._emit(
+                TracedCommand(
+                    cycle, "ACT", rank, bank, row, None, source=source
+                )
+            )
 
-    def issue_precharge(self, cycle: int, rank: int, bank: int) -> None:
+    def issue_precharge(
+        self,
+        cycle: int,
+        rank: int,
+        bank: int,
+        source: Optional[int] = None,
+    ) -> None:
         self._claim_cmd_bus(cycle)
         self.ranks[rank].precharge(cycle, bank)
         if self._listeners:
-            self._emit(TracedCommand(cycle, "PRE", rank, bank, None, None))
+            self._emit(
+                TracedCommand(
+                    cycle, "PRE", rank, bank, None, None, source=source
+                )
+            )
 
     def issue_column(
         self,
@@ -336,6 +357,7 @@ class Channel:
         is_read: bool,
         auto_precharge: bool = False,
         column: Optional[int] = None,
+        source: Optional[int] = None,
     ) -> int:
         """Issue READ/WRITE; returns the last-data-beat cycle."""
         self._claim_cmd_bus(cycle)
@@ -359,6 +381,7 @@ class Channel:
                     column=column,
                     auto_precharge=auto_precharge,
                     data_start=cycle + latency,
+                    source=source,
                 )
             )
         return data_end

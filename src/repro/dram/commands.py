@@ -72,7 +72,9 @@ class TracedCommand:
     carries the cycle the rank becomes usable again in ``data_end``,
     and ``REFPB`` the cycle its *bank* becomes usable again plus the
     refreshed subarray in ``subarray`` (``None`` for whole-bank
-    REFpb).
+    REFpb).  ``source`` is the tenant id of the access the transaction
+    serves in fleet mode (``None`` for refresh maintenance commands
+    and for traces recorded before fleet mode existed).
     """
 
     cycle: int
@@ -85,6 +87,7 @@ class TracedCommand:
     auto_precharge: bool = False
     data_start: Optional[int] = None
     subarray: Optional[int] = None
+    source: Optional[int] = None
 
     def __str__(self) -> str:
         location = f"r{self.rank}b{self.bank}"

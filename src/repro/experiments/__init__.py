@@ -17,6 +17,7 @@ fig11      outstanding accesses vs threshold, swim (Fig. 11)
 fig12      latency & execution time vs threshold (Fig. 12)
 saturation write queue saturation rates, swim (§5.1)
 refresh_pressure density x refresh policy x mechanism (HPCA 2014)
+fleet      multi-tenant adversarial matrix, QoS vs plain Burst_TH
 ========== ==========================================================
 """
 
@@ -28,6 +29,7 @@ from repro.experiments import (  # noqa: F401  (registry import)
     fig10,
     fig11,
     fig12,
+    fleet,
     refresh_pressure,
     saturation,
     table1,
@@ -45,6 +47,7 @@ EXPERIMENTS = {
     "fig12": fig12,
     "refresh_pressure": refresh_pressure,
     "saturation": saturation,
+    "fleet": fleet,
 }
 
 __all__ = ["EXPERIMENTS", "run_benchmark", "run_matrix"]

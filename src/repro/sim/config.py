@@ -78,6 +78,10 @@ class SystemConfig:
     subarrays: int = 8
     #: Refresh mechanism, one of :data:`REFRESH_POLICIES`.
     refresh_policy: str = "REFab"
+    #: Independent workload streams (tenants) sharing the controller in
+    #: fleet mode.  1 is the single-stream paper machine; the QoS
+    #: scheduler variants size their per-tenant quotas from this.
+    sources: int = 1
     cpu: CPUConfig = field(default_factory=CPUConfig)
 
     def __post_init__(self) -> None:
@@ -132,6 +136,16 @@ class SystemConfig:
             raise ConfigError(
                 f"refresh_policy must be one of {REFRESH_POLICIES}, "
                 f"got {self.refresh_policy!r}"
+            )
+        if self.sources <= 0:
+            raise ConfigError(
+                f"sources must be positive, got {self.sources}"
+            )
+        if self.sources > self.write_queue_size:
+            raise ConfigError(
+                f"sources ({self.sources}) cannot exceed the write "
+                f"queue ({self.write_queue_size}): every tenant needs "
+                f"a non-zero write-queue quota"
             )
 
     # ------------------------------------------------------------------

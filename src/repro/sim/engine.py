@@ -66,6 +66,10 @@ class OpenLoopDriver:
             not self._pending and not self._staged and self.system.idle
         )
 
+    def _next_arrival(self) -> int:
+        """Arrival cycle of the earliest undelivered request."""
+        return self._pending[0][0] if self._pending else NEVER
+
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
@@ -138,10 +142,9 @@ class OpenLoopDriver:
             # Quiet cycle: leap to the next cycle anything can change.
             cycle = system.cycle
             wake = system.next_event_cycle(cycle)
-            if self._pending:
-                arrival = self._pending[0][0]
-                if arrival < wake:
-                    wake = arrival
+            arrival = self._next_arrival()
+            if arrival < wake:
+                wake = arrival
             if wake <= cycle or wake >= NEVER:
                 continue
             if wake > max_cycles:
@@ -149,6 +152,111 @@ class OpenLoopDriver:
             system.skip_to(wake)
         self.system.finalize()
         return self.system.cycle
+
+
+#: (arrival_cycle, AccessType, physical_address, source)
+FleetRequest = Tuple[int, AccessType, int, int]
+
+
+class FleetDriver(OpenLoopDriver):
+    """Open-loop replay of K independent tenant streams (fleet mode).
+
+    Each source gets its own request lane: staging and the
+    rejected-request retry run per lane, so back-pressure against one
+    tenant (pool full for it, or a QoS quota rejection) never blocks
+    another tenant's requests behind it in a shared FIFO — with a
+    single queue, the write-quota scheduler would starve the *victim*
+    at the driver, defeating the mechanism it exists to measure.
+
+    Within one cycle lanes are served in ascending source order, which
+    keeps the interleaving deterministic for the byte-identity and
+    checkpoint-resume tests.
+    """
+
+    kind = "fleet"
+
+    def __init__(self, system: MemorySystem, requests: Iterable[FleetRequest]):
+        self.system = system
+        lanes: dict = {}
+        for request in sorted(requests, key=lambda r: (r[3], r[0])):
+            lanes.setdefault(request[3], deque()).append(request)
+        self._lanes = {source: lanes[source] for source in sorted(lanes)}
+        self._staged_lanes = {source: deque() for source in self._lanes}
+        self.completed: List[MemoryAccess] = []
+        self.issued = 0
+
+    def _next_arrival(self) -> int:
+        wake = NEVER
+        for pending in self._lanes.values():
+            if pending and pending[0][0] < wake:
+                wake = pending[0][0]
+        return wake
+
+    def step(self) -> None:
+        """Stage and enqueue every due request lane by lane, then tick."""
+        cycle = self.system.cycle
+        for source, pending in self._lanes.items():
+            staged = self._staged_lanes[source]
+            while pending and pending[0][0] <= cycle:
+                arrival, type_, address, src = pending.popleft()
+                staged.append(
+                    self.system.make_access(type_, address, arrival, src)
+                )
+            while staged:
+                access = staged[0]
+                status = self.system.enqueue(access, cycle)
+                if status is EnqueueStatus.REJECTED_FULL:
+                    break
+                staged.popleft()
+                self.issued += 1
+                if status is EnqueueStatus.FORWARDED:
+                    self.completed.append(access)
+        self.completed.extend(self.system.tick())
+
+    @property
+    def done(self) -> bool:
+        return (
+            all(not lane for lane in self._lanes.values())
+            and all(not lane for lane in self._staged_lanes.values())
+            and self.system.idle
+        )
+
+    def state_dict(self, ctx) -> dict:
+        return {
+            "lanes": [
+                [
+                    source,
+                    [
+                        [arrival, type_.value, address, src]
+                        for arrival, type_, address, src in pending
+                    ],
+                    [ctx.ref(a) for a in self._staged_lanes[source]],
+                ]
+                for source, pending in self._lanes.items()
+            ],
+            "issued": self.issued,
+        }
+
+    def load_state_dict(self, state: dict, ctx) -> None:
+        self._lanes = {}
+        self._staged_lanes = {}
+        for source, pending, staged in state["lanes"]:
+            self._lanes[source] = deque(
+                (arrival, AccessType(value), address, src)
+                for arrival, value, address, src in pending
+            )
+            self._staged_lanes[source] = deque(ctx.get(r) for r in staged)
+        self.completed = []
+        self.issued = state["issued"]
+
+
+def run_fleet_requests(
+    system: MemorySystem,
+    requests: Iterable[FleetRequest],
+    max_cycles: int = 10_000_000,
+) -> int:
+    """Drive tagged fleet ``requests`` open loop to drain."""
+    return FleetDriver(system, requests).run(max_cycles)
 
 
 def run_requests(
@@ -206,8 +314,11 @@ def run_requests_resumed(
 
 
 __all__ = [
+    "FleetDriver",
+    "FleetRequest",
     "OpenLoopDriver",
     "Request",
+    "run_fleet_requests",
     "run_requests",
     "run_requests_resumed",
     "run_requests_verified",

@@ -135,6 +135,26 @@ class Histogram:
             return []
         return [(k, v / total) for k, v in sorted(self.counts.items())]
 
+    def percentile(self, q: float) -> float:
+        """Smallest key whose cumulative weight reaches fraction ``q``.
+
+        ``q`` is in [0, 1]; the weighted analogue of the nearest-rank
+        percentile (``percentile(0.99)`` is the p99 of the samples).
+        Returns 0.0 for an empty histogram.
+        """
+        total = self.total
+        if not total:
+            return 0.0
+        target = q * total
+        running = 0
+        last = 0
+        for key, weight in sorted(self.counts.items()):
+            running += weight
+            last = key
+            if running >= target:
+                return float(key)
+        return float(last)
+
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram's weights into this one."""
         for key, weight in other.counts.items():
@@ -151,6 +171,94 @@ class Histogram:
         for key, weight in data.items():
             hist.counts[int(key)] = int(weight)
         return hist
+
+
+class SourceStats:
+    """Per-tenant statistics in fleet mode (one per source id).
+
+    The scheduler base class records into exactly one of these per
+    completed access, keyed by ``MemoryAccess.source``, at the same
+    events in both engine paths — so the per-source bundle is
+    byte-identical across sequential, fast-forward and
+    checkpoint-resumed runs, like everything else in
+    :class:`SimStats`.
+    """
+
+    __slots__ = (
+        "read_latency",
+        "write_latency",
+        "read_latencies",
+        "row_states",
+        "completed_reads",
+        "completed_writes",
+        "forwarded_reads",
+        "data_bus_cycles",
+    )
+
+    def __init__(self) -> None:
+        self.read_latency = LatencyStat()
+        self.write_latency = LatencyStat()
+        #: Full read-latency histogram: tail metrics (p99) for the
+        #: starvation regressions need more than mean/min/max.
+        self.read_latencies = Histogram()
+        self.row_states: Dict[RowState, int] = {s: 0 for s in RowState}
+        self.completed_reads = 0
+        self.completed_writes = 0
+        self.forwarded_reads = 0
+        self.data_bus_cycles = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = sum(self.row_states.values())
+        return self.row_states[RowState.HIT] / total if total else 0.0
+
+    def p99_read_latency(self) -> float:
+        return self.read_latencies.percentile(0.99)
+
+    def service_rate(self, cycles: int) -> float:
+        """Completed accesses per cycle — the Jain-index service metric."""
+        served = self.completed_reads + self.completed_writes
+        return served / cycles if cycles else 0.0
+
+    def merge(self, other: "SourceStats") -> None:
+        self.read_latency.merge(other.read_latency)
+        self.write_latency.merge(other.write_latency)
+        self.read_latencies.merge(other.read_latencies)
+        for state, count in other.row_states.items():
+            self.row_states[state] = self.row_states.get(state, 0) + count
+        self.completed_reads += other.completed_reads
+        self.completed_writes += other.completed_writes
+        self.forwarded_reads += other.forwarded_reads
+        self.data_bus_cycles += other.data_bus_cycles
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "read_latency": self.read_latency.to_dict(),
+            "write_latency": self.write_latency.to_dict(),
+            "read_latencies": self.read_latencies.to_dict(),
+            "row_states": {
+                state.value: self.row_states.get(state, 0)
+                for state in RowState
+            },
+            "completed_reads": self.completed_reads,
+            "completed_writes": self.completed_writes,
+            "forwarded_reads": self.forwarded_reads,
+            "data_bus_cycles": self.data_bus_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SourceStats":
+        stats = cls()
+        stats.read_latency = LatencyStat.from_dict(data["read_latency"])
+        stats.write_latency = LatencyStat.from_dict(data["write_latency"])
+        stats.read_latencies = Histogram.from_dict(data["read_latencies"])
+        for label, count in data["row_states"].items():
+            stats.row_states[RowState(label)] = int(count)
+        stats.completed_reads = int(data["completed_reads"])
+        stats.completed_writes = int(data["completed_writes"])
+        stats.forwarded_reads = int(data["forwarded_reads"])
+        stats.data_bus_cycles = int(data["data_bus_cycles"])
+        return stats
 
 
 @dataclass
@@ -187,6 +295,10 @@ class SimStats:
     read_latency_per_slice: Dict[int, LatencyStat] = field(
         default_factory=dict
     )
+    #: Per-tenant statistics, keyed by ``MemoryAccess.source`` (fleet
+    #: mode).  Single-stream runs put everything under source 0; use
+    #: :meth:`for_source` to read-or-create an entry.
+    per_source: Dict[int, SourceStats] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # Next-event lookout diagnostics (deliberately NOT dataclass
@@ -242,6 +354,15 @@ class SimStats:
         for slot, stat in other.read_latency_per_slice.items():
             mine = self.read_latency_per_slice.setdefault(slot, LatencyStat())
             mine.merge(stat)
+        for source, stat in other.per_source.items():
+            self.per_source.setdefault(source, SourceStats()).merge(stat)
+
+    def for_source(self, source: int) -> SourceStats:
+        """The per-tenant bundle for ``source``, created on demand."""
+        stats = self.per_source.get(source)
+        if stats is None:
+            stats = self.per_source[source] = SourceStats()
+        return stats
 
     def to_dict(self) -> Dict[str, object]:
         """Lossless JSON-safe snapshot of every field.
@@ -266,6 +387,10 @@ class SimStats:
         data["read_latency_per_slice"] = {
             str(slot): stat.to_dict()
             for slot, stat in sorted(self.read_latency_per_slice.items())
+        }
+        data["per_source"] = {
+            str(source): stat.to_dict()
+            for source, stat in sorted(self.per_source.items())
         }
         return data
 
@@ -292,6 +417,10 @@ class SimStats:
         stats.read_latency_per_slice = {
             int(slot): LatencyStat.from_dict(stat)
             for slot, stat in data["read_latency_per_slice"].items()
+        }
+        stats.per_source = {
+            int(source): SourceStats.from_dict(stat)
+            for source, stat in data.get("per_source", {}).items()
         }
         return stats
 
@@ -387,4 +516,4 @@ class SimStats:
         }
 
 
-__all__ = ["Histogram", "LatencyStat", "SimStats"]
+__all__ = ["Histogram", "LatencyStat", "SimStats", "SourceStats"]

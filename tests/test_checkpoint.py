@@ -43,8 +43,9 @@ from repro.dram.timing import DDR2_800
 from repro.errors import CheckpointMismatchError
 from repro.mapping.base import DecodedAddress
 from repro.sim.config import baseline_config
-from repro.sim.engine import OpenLoopDriver, run_requests_resumed
+from repro.sim.engine import FleetDriver, OpenLoopDriver, run_requests_resumed
 from repro.sim.fsb import FSBAdapter
+from repro.workloads.fleet import make_fleet_requests
 from repro.workloads.spec2000 import make_benchmark_trace
 
 from tests.test_engine_fastfwd import (
@@ -245,6 +246,82 @@ def test_resume_equals_straight_run(tmp_path, workload, fraction,
         )
 
 
+#: Mechanisms the K=4 fleet resume crosses: the paper's best scheduler
+#: plus both QoS variants (whose quota/budget state is mechanism state).
+FLEET_MECHANISMS = ("Burst_TH", "Burst_QW", "Burst_QB")
+
+
+@settings(
+    deadline=None, max_examples=20,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+    fast=st.booleans(),
+)
+def test_fleet_resume_equals_straight_run(tmp_path, fraction, fast):
+    """K=4 fleet resume: random snapshot cycle x both engine modes x
+    oracle on — per-source stats must be byte-identical."""
+    config = baseline_config(
+        channels=1, ranks=2, banks=2, rows=64,
+        pool_size=32, write_queue_size=8, threshold=6,
+        sources=4, timing=QUIET,
+    )
+    requests = make_fleet_requests("symmetric4", 100, config, seed=9)
+    path = tmp_path / "fleet.ckpt"
+    for mechanism in FLEET_MECHANISMS:
+        with fastfwd(fast):
+            system = MemorySystem(config, mechanism, oracle=True)
+            driver = FleetDriver(system, list(requests))
+            steps = 0
+            while not driver.done:
+                driver.step()
+                steps += 1
+            system.finalize()
+            reference = _stats_blob(system)
+            assert len(system.stats.per_source) == 4
+
+            partial = MemorySystem(config, mechanism, oracle=True)
+            driver = FleetDriver(partial, list(requests))
+            for _ in range(int(steps * fraction)):
+                if driver.done:
+                    break
+                driver.step()
+            save_checkpoint(str(path), driver)
+            assert read_header(str(path))["driver"] == "fleet"
+
+            resumed = MemorySystem(config, mechanism, oracle=True)
+            fresh = FleetDriver(resumed, list(requests))
+            load_checkpoint(str(path), fresh)
+            fresh.run()
+        assert _stats_blob(resumed) == reference, (
+            f"{mechanism} fleet resume diverged at step "
+            f"{int(steps * fraction)}/{steps} (fast={fast})"
+        )
+
+
+def test_fleet_snapshot_rejects_open_loop_driver(tmp_path):
+    """A fleet snapshot must not resume into a plain open-loop run."""
+    config = baseline_config(
+        channels=1, ranks=2, banks=2, rows=64,
+        pool_size=32, write_queue_size=8, threshold=6,
+        sources=2, timing=QUIET,
+    )
+    requests = make_fleet_requests("symmetric2", 40, config, seed=2)
+    system = MemorySystem(config, "Burst_QW")
+    driver = FleetDriver(system, requests)
+    for _ in range(10):
+        driver.step()
+    path = tmp_path / "fleet-kind.ckpt"
+    save_checkpoint(str(path), driver)
+    flat = [(c, t, a) for c, t, a, _ in requests]
+    with pytest.raises(CheckpointMismatchError, match="driver kind"):
+        load_checkpoint(
+            str(path),
+            OpenLoopDriver(MemorySystem(config, "Burst_QW"), flat),
+        )
+
+
 @pytest.mark.parametrize("core_cls", [OoOCore, InOrderCore])
 @pytest.mark.parametrize("with_fsb", [False, True])
 def test_closed_loop_resume_identical(tmp_path, core_cls, with_fsb):
@@ -324,6 +401,20 @@ def test_schema_drift_rejected(tmp_path):
     lines = path.read_text().splitlines()
     header = json.loads(lines[0])
     header["schema"] = SCHEMA_VERSION + 1
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    with pytest.raises(CheckpointMismatchError, match="schema"):
+        run_requests_resumed(
+            MemorySystem(config, "Burst_TH"), requests, str(path)
+        )
+
+
+def test_old_schema_snapshot_rejected(tmp_path):
+    """Pre-fleet snapshots (schema 2, no per-source state) must be
+    refused, not silently resumed with empty per-source stats."""
+    config, requests, path = _small_snapshot(tmp_path)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["schema"] = SCHEMA_VERSION - 1
     path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
     with pytest.raises(CheckpointMismatchError, match="schema"):
         run_requests_resumed(

@@ -51,6 +51,7 @@ def test_registry_lists_every_paper_artifact():
         "fig12",
         "saturation",
         "refresh_pressure",
+        "fleet",
     }
     for module in EXPERIMENTS.values():
         assert callable(module.run)
