@@ -4,9 +4,9 @@ Two forward-looking claims close the paper:
 
 1. *"As the number of cycles for timing parameters increases in the
    future, the performance improvement provided by access reordering
-   mechanisms will be even more significant."*  We sweep five DRAM
-   generations (DDR-266 ... DDR3-1333) and measure the Burst_TH gain
-   on each.
+   mechanisms will be even more significant."*  We sweep the whole
+   registered DRAM ladder (DDR-266 ... DDR5-4800) and measure the
+   Burst_TH gain on each generation.
 2. *"Access reordering mechanisms will play a more important role
    with chip level multiple processors."*  We run a 4-core
    multiprogrammed mix against the single-core version of the same

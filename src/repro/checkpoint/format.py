@@ -47,7 +47,11 @@ from repro.errors import CheckpointMismatchError
 #: state_dict payload.  Folded into the experiment runner's
 #: code-version digest, so stale runner checkpoints (and cached cells
 #: keyed on serialization behaviour) invalidate automatically.
-SCHEMA_VERSION = 3
+#: 4: generation profiles — rank bank-group gating state
+#: (ready_column_any / ready_column_group / ready_read_group), the
+#: matching oracle shadows, and the Burst_BPW drain latch entered the
+#: payloads; schema-3 snapshots predate all of them.
+SCHEMA_VERSION = 4
 
 
 class SaveContext:

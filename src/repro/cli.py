@@ -36,14 +36,10 @@ from repro.workloads.mixes import make_mix_trace
 from repro.workloads.spec2000 import benchmark_names, make_benchmark_trace
 from repro.workloads.trace import load_trace
 
-#: Device presets selectable with --device.
-DEVICES = {
-    "DDR_266": dram.DDR_266,
-    "DDR_400": dram.timing.DDR_400,
-    "DDR2_533": dram.timing.DDR2_533,
-    "DDR2_800": dram.DDR2_800,
-    "DDR3_1333": dram.timing.DDR3_1333,
-}
+#: Device presets selectable with --device — a view of the generation
+#: registry, so a profile appended to ``timing.GENERATIONS`` shows up
+#: here without a second ladder to keep in sync.
+DEVICES = dict(dram.timing.GENERATION_PRESETS)
 
 
 def _build_parser() -> argparse.ArgumentParser:

@@ -122,6 +122,10 @@ class Scheduler(abc.ABC):
         self._tCWL = timing.tCWL
         self._tRTRS = timing.tRTRS
         self._tFAW = timing.tFAW
+        #: True on bank-group devices (DDR4/DDR5): the flat column
+        #: branches must also consult ``Rank.column_gate`` (tCCD_L /
+        #: tWTR_L).  Hoisted so single-group devices pay one boolean.
+        self._bg = timing.bank_groups > 1
 
     # ------------------------------------------------------------------
     # Enqueue path (paper Figure 4 for burst scheduling; the write-queue
@@ -286,6 +290,10 @@ class Scheduler(abc.ABC):
                 core = bank.ready_column
                 if access.is_read and rank.ready_read > core:
                     core = rank.ready_read
+                if self._bg:
+                    gate = rank.column_gate(bank.index, access.is_read)
+                    if gate > core:
+                        core = gate
             elif row is not None:
                 kind = 2  # precharge
                 core = bank.ready_precharge

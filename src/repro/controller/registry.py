@@ -90,6 +90,12 @@ def _burst_qb(config, channel, pool, stats):
     return BurstBudgetScheduler(config, channel, pool, stats)
 
 
+def _burst_bpw(config, channel, pool, stats):
+    from repro.core.bpw import BankParallelWriteScheduler
+
+    return BankParallelWriteScheduler(config, channel, pool, stats)
+
+
 def _fcfs(config, channel, pool, stats):
     from repro.controller.fcfs import FCFSScheduler
 
@@ -121,13 +127,16 @@ MECHANISMS: Dict[str, SchedulerFactory] = {
 #: reference floor; AHB is the adaptive history-based scheduler of the
 #: paper's related work (§2.2, Hur & Lin MICRO'04); Burst_QW/Burst_QB
 #: are the multi-tenant QoS variants (per-source write-queue quota and
-#: per-source burst-slot budget — both ≡ Burst_TH when sources == 1).
+#: per-source burst-slot budget — both ≡ Burst_TH when sources == 1);
+#: Burst_BPW is the BARD-style bank-parallel write drain aimed at the
+#: long write recoveries of the DDR5 generation profiles.
 EXTENSIONS: Dict[str, SchedulerFactory] = {
     "Burst_DYN": _burst_dyn,
     "FCFS": _fcfs,
     "AHB": _ahb,
     "Burst_QW": _burst_qw,
     "Burst_QB": _burst_qb,
+    "Burst_BPW": _burst_bpw,
 }
 MECHANISMS.update(EXTENSIONS)
 

@@ -56,7 +56,10 @@ class MemorySystem:
         self.channels: List[Channel] = []
         self.refreshers: List[RefreshController] = []
         self.schedulers = []
-        for index in range(config.channels):
+        # total_channels folds in the device's independent sub-channels
+        # (DDR5: two per DIMM); each gets its own bus, refresh engine,
+        # scheduler — and, when enabled, protocol oracle.
+        for index in range(config.total_channels):
             channel = Channel(
                 config.timing,
                 index,

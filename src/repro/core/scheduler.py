@@ -612,6 +612,7 @@ class BurstScheduler(Scheduler):
         tCWL = self._tCWL
         tRTRS = self._tRTRS
         tFAW = self._tFAW
+        bg = self._bg
         reads_by_addr = self._reads_by_addr
         vec = flat.use_numpy
         never = NEVER
@@ -640,6 +641,10 @@ class BurstScheduler(Scheduler):
                     core = bank.ready_column
                     if a.is_read and rank.ready_read > core:
                         core = rank.ready_read
+                    if bg:
+                        gate = rank.column_gate(bank.index, a.is_read)
+                        if gate > core:
+                            core = gate
                 elif row is not None:
                     kind = 2  # precharge
                     core = bank.ready_precharge

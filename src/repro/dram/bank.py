@@ -331,8 +331,10 @@ class Bank:
                 f"requested row={row}, ready={self.ready_column})"
             )
         t = self.timing
+        # Same bank implies same bank group, so the long gap applies
+        # (ccd_long degrades to the plain tCCD on single-group devices).
         self.ready_column = max(
-            self.ready_column, cycle + max(t.tCCD, t.data_cycles)
+            self.ready_column, cycle + max(t.ccd_long, t.data_cycles)
         )
         if is_read:
             pre = cycle + t.read_to_precharge

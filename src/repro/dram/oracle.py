@@ -52,7 +52,21 @@ refresh setup   a REFpb is an internal activate: tRP/tRC at the bank,
 SARP            a REFpb naming a subarray must not collide with the
                 open row's subarray, and must follow the per-bank
                 subarray round-robin (count % subarrays)
+tCCD_L          column to column within one bank group (DDR4/DDR5
+                generations with ``bank_groups > 1``)
+tCCD_S          column to column anywhere on the rank (the short
+                floor every column pair pays)
+tWTR_L          write data to read command within one bank group
 ==============  =====================================================
+
+The active subset of these rules is a property of the device
+generation — :func:`generation_rules` renders the table for one
+:class:`~repro.dram.timing.TimingParams`.  Sub-channel independence
+needs no rule of its own: :func:`attach_oracles` builds one oracle
+per *physical* channel (sub-channels included), each with its own
+command-bus, data-bus and shadow device state, so any cross-talk
+between sub-channels would surface as an ordinary violation on one
+of them.
 
 Usage — live, next to the hazard monitor::
 
@@ -133,9 +147,10 @@ class _RankShadow:
 
     __slots__ = ("banks", "act_times", "last_act", "read_ready",
                  "refresh_done", "last_refresh", "refresh_count",
-                 "last_refpb")
+                 "last_refpb", "last_col_any", "group_last_col",
+                 "group_read_ready")
 
-    def __init__(self, banks: int) -> None:
+    def __init__(self, banks: int, groups: int = 1) -> None:
         self.banks = [_BankShadow() for _ in range(banks)]
         #: Cycles of the four most recent activates (tFAW window).
         self.act_times: Deque[int] = deque(maxlen=4)
@@ -147,6 +162,14 @@ class _RankShadow:
         self.refresh_count = 0
         #: Most recent REFpb to *any* bank of this rank (tRREFD).
         self.last_refpb: Optional[int] = None
+        #: Bank-group history (DDR4/DDR5, ``bank_groups > 1``): the
+        #: most recent column command to any bank (tCCD_S), the most
+        #: recent per group (tCCD_L), and the per-group earliest read
+        #: after a write's data (tWTR_L).  Unused on single-group
+        #: generations — the lists stay at their initial values.
+        self.last_col_any: Optional[int] = None
+        self.group_last_col: List[Optional[int]] = [None] * groups
+        self.group_read_ready: List[int] = [0] * groups
 
 
 class ProtocolOracle:
@@ -178,7 +201,9 @@ class ProtocolOracle:
         self.subarrays = subarrays
         self.violations: List[Violation] = []
         self.commands_checked = 0
-        self._ranks = [_RankShadow(banks) for _ in range(ranks)]
+        self._ranks = [
+            _RankShadow(banks, timing.bank_groups) for _ in range(ranks)
+        ]
         # Channel-level shadow state.
         self._last_cmd_cycle: Optional[int] = None
         self._data_busy_until = 0
@@ -401,7 +426,9 @@ class ProtocolOracle:
                 f"{cmd.kind} {c - bank.last_act} cycles after ACT "
                 f"(tRCD={t.tRCD})",
             )
-        spacing = max(t.tCCD, t.data_cycles)
+        # Same bank implies same bank group, so the long gap applies
+        # (ccd_long degrades to the plain tCCD on single-group devices).
+        spacing = max(t.ccd_long, t.data_cycles)
         last_col = max(
             (x for x in (bank.last_read, bank.last_write) if x is not None),
             default=None,
@@ -418,6 +445,33 @@ class ProtocolOracle:
                 f"RD at {c} before the write-to-read turnaround "
                 f"(earliest {rank.read_ready})",
             )
+        if t.bank_groups > 1:
+            group = cmd.bank % t.bank_groups
+            if (
+                rank.last_col_any is not None
+                and c < rank.last_col_any + t.ccd_short
+            ):
+                self._flag(
+                    cmd, "tCCD_S",
+                    f"{cmd.kind} {c - rank.last_col_any} cycles after "
+                    f"the rank's previous column command "
+                    f"(tCCD_S={t.ccd_short})",
+                )
+            last_group = rank.group_last_col[group]
+            if last_group is not None and c < last_group + t.ccd_long:
+                self._flag(
+                    cmd, "tCCD_L",
+                    f"{cmd.kind} {c - last_group} cycles after the "
+                    f"previous column command to bank group {group} "
+                    f"(tCCD_L={t.ccd_long})",
+                )
+            if is_read and c < rank.group_read_ready[group]:
+                self._flag(
+                    cmd, "tWTR_L",
+                    f"RD at {c} before the same-group write-to-read "
+                    f"turnaround of group {group} "
+                    f"(earliest {rank.group_read_ready[group]})",
+                )
         # Data bus: recompute the burst window and check non-overlap
         # plus the direction / rank turnaround gaps.
         latency = t.tCL if is_read else t.tCWL
@@ -452,6 +506,14 @@ class ProtocolOracle:
         else:
             bank.last_write = c
             rank.read_ready = max(rank.read_ready, data_end + t.tWTR)
+        if t.bank_groups > 1:
+            group = cmd.bank % t.bank_groups
+            rank.last_col_any = c
+            rank.group_last_col[group] = c
+            if not is_read:
+                rank.group_read_ready[group] = max(
+                    rank.group_read_ready[group], data_end + t.wtr_long
+                )
         self._data_busy_until = max(self._data_busy_until, data_end)
         self._last_data_rank = cmd.rank
         self._last_data_is_read = is_read
@@ -628,6 +690,9 @@ class ProtocolOracle:
                     "last_refresh": rank.last_refresh,
                     "refresh_count": rank.refresh_count,
                     "last_refpb": rank.last_refpb,
+                    "last_col_any": rank.last_col_any,
+                    "group_last_col": list(rank.group_last_col),
+                    "group_read_ready": list(rank.group_read_ready),
                     "banks": [
                         {
                             "open_row": bank.open_row,
@@ -663,6 +728,9 @@ class ProtocolOracle:
             rank.last_refresh = rank_state["last_refresh"]
             rank.refresh_count = rank_state["refresh_count"]
             rank.last_refpb = rank_state["last_refpb"]
+            rank.last_col_any = rank_state["last_col_any"]
+            rank.group_last_col = list(rank_state["group_last_col"])
+            rank.group_read_ready = list(rank_state["group_read_ready"])
             for bank, bank_state in zip(rank.banks, rank_state["banks"]):
                 bank.open_row = bank_state["open_row"]
                 bank.last_act = bank_state["last_act"]
@@ -712,6 +780,34 @@ class ProtocolOracle:
                         f"{MAX_POSTPONED_REFRESHES} x tREFI = {slack})",
                     )
         return self.violations
+
+
+def generation_rules(timing: TimingParams) -> List[str]:
+    """The oracle rules active for one device generation.
+
+    The core DDR rulebook applies to every generation; the optional
+    rows of the module docstring table switch on with the timing
+    fields that enable them.  Used by the generation experiments and
+    the docs to state exactly what each profile is verified against —
+    and by tests to pin that new profiles don't silently skip rules.
+    """
+    rules = [
+        "state", "cmd-bus", "data-bus", "data-window",
+        "tRCD", "tRP", "tRAS", "tRC", "tCL/tCWL",
+        "tWR", "tWTR", "tRTP", "tRRD", "tCCD",
+    ]
+    if timing.tRTRS:
+        rules.append("tRTRS")
+    if timing.tFAW is not None:
+        rules.append("tFAW")
+    if timing.tREFI is not None:
+        rules.extend(["tREFI", "tRFC", "tRFCpb", "tRREFD"])
+    if timing.bank_groups > 1:
+        rules.extend(["tCCD_S", "tCCD_L", "tWTR_L"])
+    if timing.sub_channels > 1:
+        # Structural: one oracle per physical (sub-)channel.
+        rules.append("sub-channel-independence")
+    return rules
 
 
 def attach_oracles(system, strict: bool = True) -> List[ProtocolOracle]:
@@ -780,6 +876,7 @@ __all__ = [
     "ProtocolOracle",
     "Violation",
     "attach_oracles",
+    "generation_rules",
     "verify_commands",
     "verify_trace",
 ]

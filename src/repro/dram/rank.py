@@ -40,8 +40,16 @@ class Rank:
             Bank(timing, b, subarray_rows) for b in range(banks)
         ]
         self.ready_activate = 0          # tRRD / post-refresh gate
-        self.ready_read = 0              # tWTR gate
+        self.ready_read = 0              # tWTR (short) gate
         self._activate_times: Deque[int] = deque(maxlen=4)
+        #: Bank-group split column gates (DDR4/DDR5).  Banks stripe
+        #: across groups by ``bank_index % bank_groups``.  Inert —
+        #: never consulted or advanced — when the device has a single
+        #: bank group, so the pre-DDR4 hot paths are unchanged.
+        self.bank_groups = timing.bank_groups
+        self.ready_column_any = 0                          # tCCD_S gate
+        self.ready_column_group = [0] * self.bank_groups   # tCCD_L gates
+        self.ready_read_group = [0] * self.bank_groups     # tWTR_L gates
         #: Write-version stamp for the rank-wide gates above (and
         #: ``refresh_pending`` below): bumped on every mutation so the
         #: schedulers' flat-array caches can validate cached
@@ -90,7 +98,29 @@ class Rank:
         """True when the column access clears rank-level turnaround."""
         if is_read and cycle < self.ready_read:
             return False
+        if self.bank_groups > 1 and cycle < self.column_gate(bank, is_read):
+            return False
         return self.banks[bank].can_column(cycle, row)
+
+    def column_gate(self, bank: int, is_read: bool) -> int:
+        """Earliest cycle the bank-group gates allow a column to ``bank``.
+
+        Combines the rank-wide tCCD_S floor, the tCCD_L gap from the
+        last column to ``bank``'s group, and (for reads) the tWTR_L
+        turnaround from the last write to that group.  Only meaningful
+        on devices with ``bank_groups > 1``; single-group callers skip
+        the call entirely (every gate would be zero).
+        """
+        group = bank % self.bank_groups
+        ready = self.ready_column_any
+        same_group = self.ready_column_group[group]
+        if same_group > ready:
+            ready = same_group
+        if is_read:
+            turnaround = self.ready_read_group[group]
+            if turnaround > ready:
+                ready = turnaround
+        return ready
 
     def can_precharge(self, cycle: int, bank: int) -> bool:
         return self.banks[bank].can_precharge(cycle)
@@ -153,6 +183,8 @@ class Rank:
         ready = self.banks[bank].next_column_ready(row)
         if is_read:
             ready = max(ready, self.ready_read)
+        if self.bank_groups > 1:
+            ready = max(ready, self.column_gate(bank, is_read))
         return ready
 
     def next_precharge_ready(self, bank: int) -> int:
@@ -204,6 +236,9 @@ class Rank:
             "refresh_busy_until": self.refresh_busy_until,
             "refresh_pending": self.refresh_pending,
             "refpb_ready": self.refpb_ready,
+            "ready_column_any": self.ready_column_any,
+            "ready_column_group": list(self.ready_column_group),
+            "ready_read_group": list(self.ready_read_group),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -216,6 +251,9 @@ class Rank:
         self.refresh_busy_until = state["refresh_busy_until"]
         self.refresh_pending = state["refresh_pending"]
         self.refpb_ready = state["refpb_ready"]
+        self.ready_column_any = state["ready_column_any"]
+        self.ready_column_group = list(state["ready_column_group"])
+        self.ready_read_group = list(state["ready_read_group"])
         self.ver += 1  # loaded fields invalidate any cached view
 
     # ------------------------------------------------------------------
@@ -257,6 +295,21 @@ class Rank:
             data_end = cycle + t.tCWL + t.data_cycles
             self.ready_read = max(self.ready_read, data_end + t.tWTR)
             self.ver += 1  # tWTR gate moved: rank-wide read candidates stale
+        if self.bank_groups > 1:
+            group = bank % self.bank_groups
+            self.ready_column_any = max(
+                self.ready_column_any, cycle + t.ccd_short
+            )
+            self.ready_column_group[group] = max(
+                self.ready_column_group[group], cycle + t.ccd_long
+            )
+            if not is_read:
+                self.ready_read_group[group] = max(
+                    self.ready_read_group[group], data_end + t.wtr_long
+                )
+            # Group gates moved on EVERY column (reads included), so
+            # cached rank-wide views are stale even for reads.
+            self.ver += 1
         return data_end
 
     def precharge(self, cycle: int, bank: int) -> None:

@@ -26,6 +26,10 @@ tREFI     average refresh interval (refresh becomes due)
 tRFC      refresh cycle time (rank busy after REFRESH)
 tRFCpb    per-bank refresh cycle time (bank busy after REFpb)
 tRREFD    REFpb-to-REFpb spacing, different banks, same rank
+tCCD_L    column to column, same bank group (DDR4/DDR5)
+tCCD_S    column to column, different bank groups
+tWTR_L    end of write data to read command, same bank group
+tWTR_S    end of write data to read command, different groups
 ========  =====================================================
 
 ``tRFCpb``/``tRREFD`` govern the per-bank refresh commands (LPDDR
@@ -34,6 +38,18 @@ a REFpb occupies only its target bank for ``tRFCpb`` cycles and
 consecutive REFpb commands on one rank must be ``tRREFD`` apart.
 When left unset they derive from the all-bank numbers — see
 :attr:`TimingParams.refpb_recovery` / :attr:`TimingParams.refpb_spacing`.
+
+Devices with ``bank_groups > 1`` (DDR4 onward) split the column gaps:
+back-to-back columns within one bank group must honour the *long* gap
+``tCCD_L`` while columns to different groups need only the *short*
+``tCCD_S``, and likewise for the write-to-read turnaround
+``tWTR_L``/``tWTR_S``.  By convention the base ``tCCD``/``tWTR``
+fields hold the short values (they remain the floor every column pair
+pays) and the ``_L``/``_S`` overrides default to them, so pre-DDR4
+presets need no changes.  ``sub_channels`` models DDR5's two fully
+independent 32-bit sub-channels per DIMM: the memory system
+instantiates ``channels * sub_channels`` physical channels, each with
+its own command/data bus, banks, refresh machinery and oracle.
 """
 
 from __future__ import annotations
@@ -78,6 +94,21 @@ class TimingParams:
     #: explicitly.
     tRFCpb: Optional[int] = None
     tRREFD: Optional[int] = None
+    #: Bank-group architecture (DDR4/DDR5).  With ``bank_groups == 1``
+    #: every group rule is inert; otherwise banks stripe across groups
+    #: by ``bank_index % bank_groups`` and the split column gaps below
+    #: apply.  The base ``tCCD``/``tWTR`` hold the *short* values; the
+    #: ``_L``/``_S`` overrides default to them (see module docstring).
+    bank_groups: int = 1
+    tCCD_L: Optional[int] = None
+    tCCD_S: Optional[int] = None
+    tWTR_L: Optional[int] = None
+    tWTR_S: Optional[int] = None
+    #: Independent sub-channels per DIMM (DDR5 splits the 64-bit bus
+    #: into two 32-bit halves with separate command/data paths).  The
+    #: memory system builds ``channels * sub_channels`` physical
+    #: channels.
+    sub_channels: int = 1
     clock_mhz: int = 400
 
     def __post_init__(self) -> None:
@@ -93,8 +124,6 @@ class TimingParams:
             if value <= 0:
                 raise ConfigError(f"{label} must be positive, got {value}")
         non_negative = {
-            "tWR": self.tWR,
-            "tWTR": self.tWTR,
             "tRTP": self.tRTP,
             "tRRD": self.tRRD,
             "tCCD": self.tCCD,
@@ -103,6 +132,14 @@ class TimingParams:
         for label, value in non_negative.items():
             if value < 0:
                 raise ConfigError(f"{label} must be >= 0, got {value}")
+        # Write recovery and write-to-read turnaround of zero would
+        # let a precharge or read overlap in-flight write data — no
+        # real device allows it, and a typo'd profile that slips one
+        # through produces schedules only the oracle might reject.
+        if self.tWR < 1:
+            raise ConfigError(f"tWR must be >= 1, got {self.tWR}")
+        if self.tWTR < 1:
+            raise ConfigError(f"tWTR must be >= 1, got {self.tWTR}")
         if self.burst_length % 2:
             raise ConfigError(
                 f"burst_length must be even on DDR devices, "
@@ -112,9 +149,19 @@ class TimingParams:
             raise ConfigError(
                 f"tRAS ({self.tRAS}) must cover tRCD ({self.tRCD})"
             )
-        if self.tFAW is not None and self.tFAW < self.tRRD:
+        # A row must stay open long enough to activate it AND issue
+        # the earliest read-then-precharge sequence the state machine
+        # will attempt; a shorter tRAS is self-contradictory.
+        if self.tRAS < self.tRCD + self.tRTP:
             raise ConfigError(
-                f"tFAW ({self.tFAW}) must be >= tRRD ({self.tRRD})"
+                f"tRAS ({self.tRAS}) must cover tRCD + tRTP "
+                f"({self.tRCD} + {self.tRTP})"
+            )
+        # Four activates tRRD apart already span 4*tRRD cycles, so a
+        # smaller four-activate window could never bind and is a typo.
+        if self.tFAW is not None and self.tFAW < 4 * self.tRRD:
+            raise ConfigError(
+                f"tFAW ({self.tFAW}) must be >= 4*tRRD ({4 * self.tRRD})"
             )
         if self.tREFI is not None:
             if self.tREFI <= 0:
@@ -139,6 +186,32 @@ class TimingParams:
         if self.tRREFD is not None and self.tRREFD <= 0:
             raise ConfigError(
                 f"tRREFD must be positive, got {self.tRREFD}"
+            )
+        for label, value in (
+            ("bank_groups", self.bank_groups),
+            ("sub_channels", self.sub_channels),
+        ):
+            if value < 1 or value & (value - 1):
+                raise ConfigError(
+                    f"{label} must be a positive power of two, got {value}"
+                )
+        for label, value in (
+            ("tCCD_L", self.tCCD_L),
+            ("tCCD_S", self.tCCD_S),
+            ("tWTR_L", self.tWTR_L),
+            ("tWTR_S", self.tWTR_S),
+        ):
+            if value is not None and value < 0:
+                raise ConfigError(f"{label} must be >= 0, got {value}")
+        if self.ccd_long < self.ccd_short:
+            raise ConfigError(
+                f"tCCD_L ({self.ccd_long}) must be >= tCCD_S "
+                f"({self.ccd_short})"
+            )
+        if self.wtr_long < self.wtr_short:
+            raise ConfigError(
+                f"tWTR_L ({self.wtr_long}) must be >= tWTR_S "
+                f"({self.wtr_short})"
             )
 
     @property
@@ -177,6 +250,30 @@ class TimingParams:
         if self.tRREFD is not None:
             return self.tRREFD
         return max(1, self.tRRD)
+
+    @property
+    def ccd_long(self) -> int:
+        """Effective tCCD_L: column gap within one bank group.
+
+        Falls back to the base ``tCCD`` so pre-bank-group devices
+        (``bank_groups == 1``) see a single uniform column gap.
+        """
+        return self.tCCD if self.tCCD_L is None else self.tCCD_L
+
+    @property
+    def ccd_short(self) -> int:
+        """Effective tCCD_S: column gap across bank groups."""
+        return self.tCCD if self.tCCD_S is None else self.tCCD_S
+
+    @property
+    def wtr_long(self) -> int:
+        """Effective tWTR_L: write-to-read gap within one bank group."""
+        return self.tWTR if self.tWTR_L is None else self.tWTR_L
+
+    @property
+    def wtr_short(self) -> int:
+        """Effective tWTR_S: write-to-read gap across bank groups."""
+        return self.tWTR if self.tWTR_S is None else self.tWTR_S
 
     @property
     def read_to_precharge(self) -> int:
@@ -313,8 +410,87 @@ DDR3_1333 = TimingParams(
     clock_mhz=666,
 )
 
+#: DDR3-1600 11-11-11 at 800 MHz — the mature end of the DDR3 ladder.
+#: The nanosecond-constant secondaries (tWR 15 ns, tWTR/tRTP 7.5 ns,
+#: tFAW 30 ns, tREFI 7.8 us, tRFC 110 ns) land at ever-larger cycle
+#: counts, continuing the §6 trend (row conflict 33 cycles).
+DDR3_1600 = TimingParams(
+    name="DDR3-1600 11-11-11",
+    tCL=11,
+    tRCD=11,
+    tRP=11,
+    tRAS=28,
+    burst_length=8,
+    tCWL=8,
+    tWR=12,
+    tWTR=6,
+    tRTP=6,
+    tRRD=5,
+    tCCD=4,
+    tRTRS=2,
+    tFAW=24,
+    tREFI=6240,
+    tRFC=88,
+    clock_mhz=800,
+)
+
+#: DDR5-4800 40-39-39 at 2400 MHz — the modern endpoint of the §6
+#: ladder (row conflict 118 cycles).  DDR5 introduces every structural
+#: feature the generation profiles model: BL16 bursts (8 data cycles),
+#: four bank groups with split tCCD_L/tCCD_S and tWTR_L/tWTR_S column
+#: gaps, two independent sub-channels per DIMM, and same-bank refresh
+#: (explicit tRFCpb/tRREFD driving the PR-7 per-bank refresh
+#: machinery).  Values follow the JEDEC DDR5-4800B speed bin for a
+#: 16 Gb device: tRAS 32 ns, tWR 30 ns, tRTP 7.5 ns, tWTR_L 10 ns,
+#: tREFI1 3.9 us, tRFC 295 ns, tRFCsb 130 ns.
+DDR5_4800 = TimingParams(
+    name="DDR5-4800 40-39-39",
+    tCL=40,
+    tRCD=39,
+    tRP=39,
+    tRAS=76,
+    burst_length=16,
+    tCWL=38,
+    tWR=72,
+    tWTR=6,
+    tRTP=18,
+    tRRD=8,
+    tCCD=8,
+    tRTRS=2,
+    tFAW=32,
+    tREFI=9360,
+    tRFC=708,
+    tRFCpb=312,
+    tRREFD=32,
+    bank_groups=4,
+    tCCD_L=12,
+    tWTR_L=24,
+    sub_channels=2,
+    clock_mhz=2400,
+)
+
 #: The §6 device-generation ladder, oldest first.
-GENERATIONS = (DDR_266, DDR_400, DDR2_533, DDR2_800, DDR3_1333)
+GENERATIONS = (
+    DDR_266,
+    DDR_400,
+    DDR2_533,
+    DDR2_800,
+    DDR3_1333,
+    DDR3_1600,
+    DDR5_4800,
+)
+
+#: Preset identifier -> profile for every :data:`GENERATIONS` member,
+#: derived by reflection so appending a profile to the ladder enrolls
+#: it everywhere that offers generations by name (the CLI's
+#: ``--device`` choices, the sweep benchmarks) with no second list to
+#: keep in sync.
+GENERATION_PRESETS = {
+    name: preset
+    for preset in GENERATIONS
+    for name, value in list(globals().items())
+    if value is preset
+}
 
 #: The teaching device of the paper's Figure 1: 2-2-2 timings with a
 #: burst length of 4 (2 data cycles), no refresh, relaxed secondary
@@ -344,9 +520,12 @@ __all__ = [
     "DDR2_533",
     "DDR2_800",
     "DDR3_1333",
+    "DDR3_1600",
+    "DDR5_4800",
     "DDR_266",
     "DDR_400",
     "FIG1_DEVICE",
     "GENERATIONS",
+    "GENERATION_PRESETS",
     "TimingParams",
 ]

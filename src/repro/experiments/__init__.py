@@ -18,6 +18,7 @@ fig12      latency & execution time vs threshold (Fig. 12)
 saturation write queue saturation rates, swim (§5.1)
 refresh_pressure density x refresh policy x mechanism (HPCA 2014)
 fleet      multi-tenant adversarial matrix, QoS vs plain Burst_TH
+generations fig7/table1 matrix per device profile, Burst_BPW drain (§6)
 ========== ==========================================================
 """
 
@@ -30,6 +31,7 @@ from repro.experiments import (  # noqa: F401  (registry import)
     fig11,
     fig12,
     fleet,
+    generations,
     refresh_pressure,
     saturation,
     table1,
@@ -48,6 +50,7 @@ EXPERIMENTS = {
     "refresh_pressure": refresh_pressure,
     "saturation": saturation,
     "fleet": fleet,
+    "generations": generations,
 }
 
 __all__ = ["EXPERIMENTS", "run_benchmark", "run_matrix"]

@@ -53,7 +53,9 @@ class AddressMapping(abc.ABC):
         self.config = config
         self.line_bits = _bits(config.line_bytes)
         self.column_bits = _bits(config.columns_per_row)
-        self.channel_bits = _bits(config.channels)
+        # Sub-channels are independent physical channels to the
+        # mapping: addresses stripe across channels * sub_channels.
+        self.channel_bits = _bits(config.total_channels)
         self.rank_bits = _bits(config.ranks)
         self.bank_bits = _bits(config.banks)
         self.row_bits = _bits(config.rows)
@@ -84,7 +86,7 @@ class AddressMapping(abc.ABC):
     def _check_coords(self, decoded: DecodedAddress) -> None:
         cfg = self.config
         ok = (
-            0 <= decoded.channel < cfg.channels
+            0 <= decoded.channel < cfg.total_channels
             and 0 <= decoded.rank < cfg.ranks
             and 0 <= decoded.bank < cfg.banks
             and 0 <= decoded.row < cfg.rows

@@ -163,9 +163,20 @@ class SystemConfig:
         return self.rows // self.subarrays
 
     @property
+    def total_channels(self) -> int:
+        """Physical channels the system instantiates.
+
+        DDR5 DIMMs expose ``timing.sub_channels`` fully independent
+        sub-channels each (own command/data bus, banks, refresh); the
+        memory system, the address mapping and the oracles all operate
+        on this product rather than the raw ``channels`` DIMM count.
+        """
+        return self.channels * self.timing.sub_channels
+
+    @property
     def total_banks(self) -> int:
         """All banks across channels and ranks (32 in the baseline)."""
-        return self.channels * self.ranks * self.banks
+        return self.total_channels * self.ranks * self.banks
 
     @property
     def capacity_bytes(self) -> int:

@@ -414,7 +414,23 @@ def test_old_schema_snapshot_rejected(tmp_path):
     config, requests, path = _small_snapshot(tmp_path)
     lines = path.read_text().splitlines()
     header = json.loads(lines[0])
-    header["schema"] = SCHEMA_VERSION - 1
+    header["schema"] = 2
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    with pytest.raises(CheckpointMismatchError, match="schema"):
+        run_requests_resumed(
+            MemorySystem(config, "Burst_TH"), requests, str(path)
+        )
+
+
+def test_pre_generation_snapshot_rejected(tmp_path):
+    """Schema-3 snapshots predate the generation profiles (bank-group
+    gating state in ranks and oracle shadows, the Burst_BPW drain
+    latch) and must be refused, not silently resumed with those fields
+    defaulted."""
+    config, requests, path = _small_snapshot(tmp_path)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["schema"] = 3
     path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
     with pytest.raises(CheckpointMismatchError, match="schema"):
         run_requests_resumed(

@@ -9,7 +9,14 @@ from repro.cli import DEVICES, main
 
 
 def test_devices_cover_generations():
-    assert {"DDR_266", "DDR2_800", "DDR3_1333"} <= set(DEVICES)
+    # --device mirrors the generation registry one-for-one: every
+    # ladder profile is selectable and nothing else sneaks in.
+    from repro.dram.timing import GENERATIONS
+
+    assert {"DDR_266", "DDR2_800", "DDR3_1333", "DDR5_4800"} <= set(
+        DEVICES
+    )
+    assert list(DEVICES.values()) == list(GENERATIONS)
 
 
 def test_benchmark_run_text_output(capsys):

@@ -24,6 +24,8 @@ workloads per test.
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import replace
 
 from hypothesis import given, settings
@@ -32,7 +34,7 @@ from hypothesis import strategies as st
 from repro.controller.access import AccessType
 from repro.controller.registry import MECHANISMS
 from repro.controller.system import MemorySystem
-from repro.dram.timing import DDR2_800
+from repro.dram.timing import DDR2_800, GENERATIONS
 from repro.mapping.base import DecodedAddress
 from repro.sim.config import baseline_config
 from repro.sim.engine import OpenLoopDriver, run_requests_verified
@@ -112,8 +114,23 @@ def _expected_tokens(requests):
     return expected
 
 
-def _run_mechanism(name, config, requests):
-    """Run one mechanism; returns (observed-token map, oracle violations).
+@contextmanager
+def _fastfwd(enabled):
+    """Pin REPRO_FASTFWD for the duration of one simulation run."""
+    saved = os.environ.get("REPRO_FASTFWD")
+    os.environ["REPRO_FASTFWD"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if saved is None:
+            del os.environ["REPRO_FASTFWD"]
+        else:
+            os.environ["REPRO_FASTFWD"] = saved
+
+
+def _run_mechanism(name, config, requests, fast=None):
+    """Run one mechanism; returns (observed-token map, oracle violations,
+    stats dict).  ``fast`` pins the engine mode (None = environment).
 
     The observed token of a read is reconstructed from the data-bus
     timeline alone: the newest same-address write whose burst completed
@@ -121,17 +138,20 @@ def _run_mechanism(name, config, requests):
     instead, which by enqueue order is the newest preceding write — it
     is recorded as observing that write only if one actually exists.
     """
-    system = MemorySystem(config, MECHANISMS[name])
-    created = []
-    make_access = system.make_access
+    if fast is None:
+        fast = os.environ.get("REPRO_FASTFWD", "1") != "0"
+    with _fastfwd(fast):
+        system = MemorySystem(config, MECHANISMS[name])
+        created = []
+        make_access = system.make_access
 
-    def recording_make_access(type_, address, arrival):
-        access = make_access(type_, address, arrival)
-        created.append(access)
-        return access
+        def recording_make_access(type_, address, arrival):
+            access = make_access(type_, address, arrival)
+            created.append(access)
+            return access
 
-    system.make_access = recording_make_access
-    _, oracles = run_requests_verified(system, requests, strict=False)
+        system.make_access = recording_make_access
+        _, oracles = run_requests_verified(system, requests, strict=False)
     violations = [v for oracle in oracles for v in oracle.violations]
 
     assert len(created) == len(requests), f"{name}: lost requests"
@@ -159,7 +179,7 @@ def _run_mechanism(name, config, requests):
                 and other.complete_cycle < access.complete_cycle
             ]
             observed[position] = max(done_writes) if done_writes else None
-    return observed, violations
+    return observed, violations, system.stats.to_dict()
 
 
 @given(workload=workloads())
@@ -170,7 +190,7 @@ def test_differential_outcomes_and_conformance(workload):
     requests = _encode(config, workload)
     expected = _expected_tokens(requests)
     for name in MECHANISMS:
-        observed, violations = _run_mechanism(name, config, requests)
+        observed, violations, _ = _run_mechanism(name, config, requests)
         assert not violations, (
             f"{name}: protocol violations:\n"
             + "\n".join(str(v) for v in violations)
@@ -188,7 +208,7 @@ def test_differential_with_auto_refresh(workload):
     requests = _encode(config, workload)
     expected = _expected_tokens(requests)
     for name in MECHANISMS:
-        observed, violations = _run_mechanism(name, config, requests)
+        observed, violations, _ = _run_mechanism(name, config, requests)
         assert not violations, (
             f"{name}: protocol violations:\n"
             + "\n".join(str(v) for v in violations)
@@ -213,13 +233,120 @@ def test_differential_with_per_bank_refresh(workload, policy):
     requests = _encode(config, workload)
     expected = _expected_tokens(requests)
     for name in MECHANISMS:
-        observed, violations = _run_mechanism(name, config, requests)
+        observed, violations, _ = _run_mechanism(name, config, requests)
         assert not violations, (
             f"{name}/{policy}: protocol violations:\n"
             + "\n".join(str(v) for v in violations)
         )
         assert observed == expected, (
             f"{name}: outcome diverged under {policy}"
+        )
+
+
+def _generation_config(timing):
+    """A tiny machine on one generation profile, refresh compressed.
+
+    ``tREFI`` is squeezed so a handful of refreshes land inside every
+    workload regardless of generation, keeping the duty cycle (and the
+    oracle's tREFI/tRFC/tRFCpb rules) exercised.  Eight banks put two
+    banks in each DDR5 bank group, so same-group and cross-group
+    column gaps (tCCD_L vs tCCD_S) both occur; profiles with per-bank
+    refresh parameters run under REFpb so the same-bank refresh
+    windows are checked too.
+    """
+    timing = replace(timing, tREFI=max(150, timing.tRFC + 50))
+    return baseline_config(
+        timing=timing,
+        channels=1,
+        ranks=2,
+        banks=8,
+        rows=4,
+        subarrays=2,
+        pool_size=32,
+        write_queue_size=8,
+        threshold=6,
+        refresh_policy="REFpb" if timing.tRFCpb else "REFab",
+    )
+
+
+@st.composite
+def generation_workloads(draw):
+    """Like :func:`workloads`, but spanning 8 banks and sub-channels."""
+    count = draw(st.integers(min_value=4, max_value=28))
+    requests = []
+    cycle = 0
+    for _ in range(count):
+        cycle += draw(st.integers(min_value=0, max_value=6))
+        requests.append(
+            (
+                cycle,
+                draw(st.booleans()),            # is_write
+                draw(st.integers(0, 1)),        # channel (mod total)
+                draw(st.integers(0, 1)),        # rank
+                draw(st.integers(0, 7)),        # bank (2 per DDR5 group)
+                draw(st.integers(0, 3)),        # row
+                draw(st.integers(0, 3)),        # column
+            )
+        )
+    return requests
+
+
+def _encode_generation(config, workload):
+    """Encode a generation workload, folding sub-channels in."""
+    donor = MemorySystem(config, "BkInOrder")  # mapping donor only
+    total = config.total_channels
+    requests = []
+    for cycle, is_write, channel, rank, bank, row, column in workload:
+        address = donor.mapping.encode(
+            DecodedAddress(channel % total, rank, bank, row, column)
+        )
+        op = AccessType.WRITE if is_write else AccessType.READ
+        requests.append((cycle, op, address))
+    return requests
+
+
+@given(
+    workload=generation_workloads(),
+    timing=st.sampled_from(GENERATIONS),
+)
+@settings(deadline=None, max_examples=30)
+def test_differential_generation_profiles(workload, timing):
+    """Every generation profile upholds the invariants for every
+    mechanism, in both engine modes, with the oracle watching.
+
+    This is the generation ladder's conformance sweep: DDR5's bank
+    groups (tCCD_L/tCCD_S, tWTR_L), BL16 data windows, sub-channels
+    and same-bank refresh run under exactly the rules the per-
+    generation oracle table derives for the profile — and the
+    sequential and flat engines must agree byte-for-byte on the stats
+    of every mechanism (Burst_BPW's drain latch included).
+    """
+    config = _generation_config(timing)
+    requests = _encode_generation(config, workload)
+    expected = _expected_tokens(requests)
+    for name in MECHANISMS:
+        observed, violations, sequential = _run_mechanism(
+            name, config, requests, fast=False
+        )
+        assert not violations, (
+            f"{name}/{timing.name}: protocol violations:\n"
+            + "\n".join(str(v) for v in violations)
+        )
+        assert observed == expected, (
+            f"{name}: outcome diverged on {timing.name}"
+        )
+        observed_fast, violations_fast, fast = _run_mechanism(
+            name, config, requests, fast=True
+        )
+        assert not violations_fast, (
+            f"{name}/{timing.name}: flat-engine protocol violations:\n"
+            + "\n".join(str(v) for v in violations_fast)
+        )
+        assert observed_fast == observed, (
+            f"{name}: engines disagree on outcome for {timing.name}"
+        )
+        assert fast == sequential, (
+            f"{name}: engines disagree on stats for {timing.name}"
         )
 
 

@@ -52,6 +52,7 @@ def test_registry_lists_every_paper_artifact():
         "saturation",
         "refresh_pressure",
         "fleet",
+        "generations",
     }
     for module in EXPERIMENTS.values():
         assert callable(module.run)
@@ -161,6 +162,29 @@ def test_saturation_ordering():
     assert measured["Burst_TH"] <= measured["Burst"]
     assert measured["Burst"] <= measured["Burst_RP"]
     assert "swim" in saturation.render(result)
+
+
+def test_generations_ddr5_write_drain():
+    """The generation sweep reports the per-profile matrix and a
+    positive DDR5 write-drain delta for Burst_BPW over Burst_TH."""
+    from repro.dram.timing import DDR2_800, DDR5_4800
+    from repro.experiments import generations
+
+    result = generations.run(
+        benchmarks=("swim",),
+        generations=(DDR2_800, DDR5_4800),
+        accesses=1000,
+    )
+    for cell in result.values():
+        assert cell["row_hit"] < cell["row_empty"] < cell["row_conflict"]
+        for values in cell["mechanisms"].values():
+            assert values["read_latency"] > 0
+            assert values["mem_cycles"] > 0
+    ddr5 = result[DDR5_4800.name]["bpw_write_drain"]
+    assert ddr5["write_latency_reduction_pct"] > 0
+    rendered = generations.render(result)
+    assert "Burst_BPW" in rendered
+    assert "write-drain win" in rendered
 
 
 def test_run_matrix_caches(config):

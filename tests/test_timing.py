@@ -4,7 +4,15 @@ import dataclasses
 
 import pytest
 
-from repro.dram.timing import DDR2_800, DDR_266, FIG1_DEVICE, TimingParams
+from repro.dram.timing import (
+    DDR2_800,
+    DDR3_1600,
+    DDR5_4800,
+    DDR_266,
+    FIG1_DEVICE,
+    GENERATIONS,
+    TimingParams,
+)
 from repro.errors import ConfigError
 
 
@@ -93,6 +101,75 @@ def test_rejects_tras_shorter_than_trcd():
 def test_rejects_tfaw_below_trrd():
     with pytest.raises(ConfigError):
         TimingParams(**_valid_kwargs(tFAW=2, tRRD=3))
+
+
+def test_rejects_tras_shorter_than_trcd_plus_trtp():
+    """tRAS must cover activate plus the earliest read-to-precharge."""
+    with pytest.raises(ConfigError, match="tRTP"):
+        TimingParams(**_valid_kwargs(tRAS=7, tRCD=5, tRTP=3))
+    # The boundary case is legal (FIG1_DEVICE sits exactly on it).
+    TimingParams(**_valid_kwargs(tRAS=8, tRCD=5, tRTP=3))
+
+
+def test_rejects_tfaw_below_four_trrd():
+    """A four-activate window under 4*tRRD could never bind."""
+    with pytest.raises(ConfigError, match=r"4\*tRRD"):
+        TimingParams(**_valid_kwargs(tFAW=11, tRRD=3))
+    TimingParams(**_valid_kwargs(tFAW=12, tRRD=3))
+
+
+def test_rejects_zero_write_recovery():
+    with pytest.raises(ConfigError, match="tWR"):
+        TimingParams(**_valid_kwargs(tWR=0))
+
+
+def test_rejects_zero_write_to_read():
+    with pytest.raises(ConfigError, match="tWTR"):
+        TimingParams(**_valid_kwargs(tWTR=0))
+
+
+def test_rejects_bad_bank_groups_and_sub_channels():
+    for field in ("bank_groups", "sub_channels"):
+        for value in (0, -1, 3):
+            with pytest.raises(ConfigError, match=field):
+                TimingParams(**_valid_kwargs(**{field: value}))
+
+
+def test_rejects_inverted_group_gaps():
+    with pytest.raises(ConfigError, match="tCCD_L"):
+        TimingParams(**_valid_kwargs(bank_groups=4, tCCD_L=1, tCCD_S=2))
+    with pytest.raises(ConfigError, match="tWTR_L"):
+        TimingParams(**_valid_kwargs(bank_groups=4, tWTR_L=1, tWTR_S=2))
+    # tCCD_L below the base (short) tCCD is inverted too.
+    with pytest.raises(ConfigError, match="tCCD_L"):
+        TimingParams(**_valid_kwargs(tCCD=2, tCCD_L=1))
+
+
+def test_group_gaps_default_to_base_values():
+    t = TimingParams(**_valid_kwargs())
+    assert t.ccd_long == t.ccd_short == t.tCCD
+    assert t.wtr_long == t.wtr_short == t.tWTR
+    assert t.bank_groups == 1
+    assert t.sub_channels == 1
+
+
+def test_ddr5_profile_models_bank_groups_and_sub_channels():
+    assert DDR5_4800.bank_groups == 4
+    assert DDR5_4800.sub_channels == 2
+    assert DDR5_4800.burst_length == 16
+    assert DDR5_4800.data_cycles == 8
+    assert DDR5_4800.ccd_long > DDR5_4800.ccd_short
+    assert DDR5_4800.wtr_long > DDR5_4800.wtr_short
+    # Same-bank refresh: explicit per-bank numbers drive REFpb.
+    assert DDR5_4800.refpb_recovery == DDR5_4800.tRFCpb
+    assert DDR5_4800.refpb_spacing == DDR5_4800.tRREFD
+
+
+def test_generation_ladder_is_monotone_and_extends_to_ddr5():
+    assert DDR3_1600 in GENERATIONS
+    assert GENERATIONS[-1] is DDR5_4800
+    conflicts = [t.tRP + t.tRCD + t.tCL for t in GENERATIONS]
+    assert conflicts == sorted(conflicts)
 
 
 def test_refresh_validation():
