@@ -12,12 +12,23 @@ save:
   then the process exits with status 143 (the conventional
   128+SIGTERM), which the experiment runner and the CI smoke job use
   to distinguish "interrupted with a snapshot" from a crash.
+
+Two optional hooks ride on the same poll cadence so embedders (the
+job-service worker, foremost) can observe a run without a second
+polling channel:
+
+* ``progress(driver)`` fires every ``progress_every`` memory cycles —
+  the service worker turns it into streamed per-cell progress events;
+* ``on_save(driver, preempting)`` fires after every snapshot, with
+  ``preempting=True`` exactly when the save was forced by a stop
+  request and the process is about to exit 143 — the worker's last
+  chance to announce where the migratable snapshot was cut.
 """
 
 from __future__ import annotations
 
 import signal
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.checkpoint.format import save_checkpoint
 
@@ -33,12 +44,19 @@ class Checkpointer:
         path: str,
         every: Optional[int] = None,
         meta: Optional[dict] = None,
+        progress: Optional[Callable] = None,
+        progress_every: Optional[int] = None,
+        on_save: Optional[Callable] = None,
     ) -> None:
         self.path = path
         self.every = every
         self.meta = meta
+        self.progress = progress
+        self.progress_every = progress_every
+        self.on_save = on_save
         self.saves = 0
         self._last_saved_cycle = 0
+        self._last_progress_cycle = 0
         self._stop_requested = False
         self._prev_handler = None
         self._installed = False
@@ -83,22 +101,32 @@ class Checkpointer:
         """Programmatic SIGTERM equivalent (tests, in-process kills)."""
         self._stop_requested = True
 
-    def save(self, driver) -> None:
+    def save(self, driver, preempting: bool = False) -> None:
         """Snapshot now (caller must be at a loop boundary)."""
         save_checkpoint(self.path, driver, meta=self.meta)
         self.saves += 1
         self._last_saved_cycle = driver.system.cycle
+        if self.on_save is not None:
+            self.on_save(driver, preempting)
 
     def poll(self, driver) -> None:
         """Called by run loops once per iteration, before stepping."""
         if self._stop_requested:
-            self.save(driver)
+            self.save(driver, preempting=True)
             raise SystemExit(SIGTERM_EXIT_CODE)
         if (
             self.every is not None
             and driver.system.cycle - self._last_saved_cycle >= self.every
         ):
             self.save(driver)
+        if (
+            self.progress is not None
+            and self.progress_every is not None
+            and driver.system.cycle - self._last_progress_cycle
+            >= self.progress_every
+        ):
+            self._last_progress_cycle = driver.system.cycle
+            self.progress(driver)
 
 
 __all__ = ["Checkpointer", "SIGTERM_EXIT_CODE"]

@@ -64,3 +64,13 @@ class TraceError(ReproError):
 
 class MappingError(ReproError):
     """An address cannot be translated by the active mapping scheme."""
+
+
+class ServiceError(ReproError):
+    """A job-service request is malformed or cannot be satisfied.
+
+    Raised by :mod:`repro.service` for bad submissions (unknown matrix
+    or mechanism, malformed cell specs), unknown job ids, and client
+    operations against a server that refused them.  The server maps it
+    to an ``{"ok": false, "error": ...}`` reply instead of dying.
+    """

@@ -77,6 +77,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "info", help="entry count, size and code-version breakdown"
     )
     cache_sub.add_parser("clear", help="delete every cached result")
+    gc = cache_sub.add_parser(
+        "gc",
+        help="evict least-recently-used entries until the store fits",
+    )
+    gc.add_argument(
+        "--max-bytes", required=True, metavar="N",
+        help="size bound; accepts suffixes K/M/G (e.g. 64M)",
+    )
     record = sub.add_parser(
         "record-trace",
         help="run one benchmark and save its SDRAM command trace",
@@ -121,12 +129,34 @@ def _apply_knobs(args: argparse.Namespace) -> None:
         os.environ["REPRO_ORACLE"] = "1"
 
 
+def _parse_size(raw: str) -> int:
+    """Parse ``--max-bytes`` values like ``500000``, ``64M``, ``2G``."""
+    text = raw.strip().upper()
+    scale = {"K": 1024, "M": 1024**2, "G": 1024**3}.get(text[-1:], 1)
+    digits = text[:-1] if scale != 1 else text
+    try:
+        value = int(digits)
+    except ValueError:
+        raise SystemExit(
+            f"error: --max-bytes must be an integer with an optional "
+            f"K/M/G suffix, got {raw!r}"
+        ) from None
+    return value * scale
+
+
 def _cache_main(args: argparse.Namespace) -> int:
     from repro.experiments import runner
 
     if args.cache_command == "clear":
         removed = runner.cache_clear()
         print(f"removed {removed} cached result(s) from {runner.cache_dir()}")
+        return 0
+    if args.cache_command == "gc":
+        removed, remaining = runner.cache_gc(_parse_size(args.max_bytes))
+        print(
+            f"evicted {removed} file(s) from {runner.cache_dir()}; "
+            f"{remaining} bytes remain"
+        )
         return 0
     info = runner.cache_info()
     print(f"cache dir     {info['dir']}")

@@ -178,7 +178,18 @@ def cache_store(
     key: str, cell: Cell, stats: SimStats, core: CoreResult
 ) -> None:
     """Atomically persist one simulated cell (tmp file + rename)."""
-    benchmark, mechanism, accesses, seed, _config = cell
+    cache_store_dicts(key, cell, stats.to_dict(), core.to_dict())
+
+
+def cache_store_dicts(
+    key: str, cell: Cell, stats_dict: dict, core_dict: dict
+) -> None:
+    """``cache_store`` for callers already holding serialized results.
+
+    The job server collects worker output as dicts; storing them
+    directly avoids a dict → object → dict round trip per cell.
+    """
+    benchmark, mechanism, accesses, seed, config = cell
     path = _cache_path(key)
     payload = {
         "key": key,
@@ -186,9 +197,10 @@ def cache_store(
         "mechanism": mechanism,
         "accesses": accesses,
         "seed": seed,
+        "generation": config.timing.name,
         "code_version": code_version(),
-        "stats": stats.to_dict(),
-        "core": core.to_dict(),
+        "stats": stats_dict,
+        "core": core_dict,
     }
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -239,6 +251,46 @@ def cache_clear() -> int:
     return removed
 
 
+def cache_gc(max_bytes: int) -> Tuple[int, int]:
+    """Evict least-recently-used entries until the store fits.
+
+    A long-running job service writes every simulated cell to
+    ``.repro-cache/``, so without a bound the store grows forever.
+    Eviction is LRU by file mtime over both result entries
+    (``*.json``) and in-flight checkpoint snapshots (``*.ckpt``) —
+    evicting a snapshot only costs a preempted cell its resume point
+    (it restarts from zero, still correct), and active snapshots are
+    recently written so LRU touches them last.
+
+    Returns ``(removed_files, remaining_bytes)``.
+    """
+    if max_bytes < 0:
+        raise ConfigError(f"max_bytes must be >= 0, got {max_bytes}")
+    root = cache_dir()
+    entries = []
+    total = 0
+    if root.is_dir():
+        for pattern in ("*.json", "*.ckpt"):
+            for path in root.rglob(pattern):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+    removed = 0
+    for _mtime, size, path in sorted(entries, key=lambda e: e[:2]):
+        if total <= max_bytes:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        removed += 1
+    return removed, total
+
+
 # ----------------------------------------------------------------------
 # Simulation
 # ----------------------------------------------------------------------
@@ -276,42 +328,66 @@ def checkpoint_path(key: str) -> Path:
     return cache_dir() / "checkpoints" / f"{key}.ckpt"
 
 
-def simulate_cell(
-    benchmark: str,
-    mechanism: str,
-    accesses: int,
-    seed: int,
-    config: SystemConfig,
-) -> Tuple[SimStats, CoreResult]:
-    """One closed-loop run — pure function of its arguments.
+@dataclass
+class CellRun:
+    """Outcome of :func:`execute_cell`, with resume provenance."""
 
-    With ``REPRO_CHECKPOINT=1`` the run snapshots itself periodically
-    and on SIGTERM (exiting 143), keyed next to the result cache; a
-    rerun of the same cell resumes from the snapshot instead of
-    starting over, and a completed cell deletes it.  Results are
-    byte-identical either way, so the cache stays oblivious.
+    stats: SimStats
+    core: CoreResult
+    #: Memory cycle the run resumed from (``None`` = started fresh).
+    resumed_cycle: Optional[int] = None
+
+
+def execute_cell(
+    cell: Cell,
+    checkpoint: Optional[bool] = None,
+    every: Optional[int] = None,
+    progress: Optional[Callable] = None,
+    progress_every: Optional[int] = None,
+    on_save: Optional[Callable] = None,
+) -> CellRun:
+    """One closed-loop run — the worker-callable cell API.
+
+    Pure function of the cell; everything else controls observation
+    and interruption.  ``checkpoint`` (default: the
+    ``REPRO_CHECKPOINT`` knob) snapshots the run periodically (every
+    ``every`` cycles) and on SIGTERM (exiting 143), keyed next to the
+    result cache; a rerun of the same cell resumes from the snapshot
+    instead of starting over, and a completed cell deletes it.
+    Results are byte-identical either way, so the cache stays
+    oblivious.  ``progress(driver)`` fires every ``progress_every``
+    memory cycles and ``on_save(driver, preempting)`` after every
+    snapshot — the job-service worker streams both as events.
     """
+    benchmark, mechanism, accesses, seed, config = cell
     trace = make_benchmark_trace(benchmark, accesses, seed)
     system = MemorySystem(config, mechanism)
     core = OoOCore(system, trace)
+    checkpoint = checkpoint_enabled() if checkpoint is None else checkpoint
     checkpointer = None
     snapshot: Optional[Path] = None
-    if checkpoint_enabled():
+    resumed_cycle: Optional[int] = None
+    if checkpoint:
         from repro.checkpoint import Checkpointer, load_checkpoint
         from repro.errors import CheckpointMismatchError
 
         key = cell_key(benchmark, mechanism, accesses, seed, config)
         snapshot = checkpoint_path(key)
         checkpointer = Checkpointer(
-            str(snapshot), every=checkpoint_every(),
+            str(snapshot),
+            every=checkpoint_every() if every is None else every,
             meta={"cell_key": key, "benchmark": benchmark,
                   "mechanism": mechanism, "accesses": accesses,
                   "seed": seed},
+            progress=progress,
+            progress_every=progress_every,
+            on_save=on_save,
         )
         checkpointer.install_signal_handler()
         if snapshot.exists():
             try:
                 load_checkpoint(str(snapshot), core)
+                resumed_cycle = system.cycle
             except CheckpointMismatchError:
                 # Defensive: the key should make this impossible, but a
                 # bad snapshot must never wedge the cell permanently.
@@ -326,7 +402,19 @@ def simulate_cell(
             checkpointer.uninstall_signal_handler()
     if snapshot is not None:
         snapshot.unlink(missing_ok=True)
-    return system.stats, result
+    return CellRun(system.stats, result, resumed_cycle)
+
+
+def simulate_cell(
+    benchmark: str,
+    mechanism: str,
+    accesses: int,
+    seed: int,
+    config: SystemConfig,
+) -> Tuple[SimStats, CoreResult]:
+    """:func:`execute_cell` under the environment's checkpoint knobs."""
+    run = execute_cell((benchmark, mechanism, accesses, seed, config))
+    return run.stats, run.core
 
 
 def _worker(job: Tuple[int, Cell]) -> Tuple[int, dict, dict]:
@@ -379,16 +467,29 @@ def _auto_progress() -> Optional[Callable[[RunReport], None]]:
 
 
 def _print_progress(report: RunReport) -> None:
-    sys.stderr.write(
-        f"\r[matrix] {report.done}/{report.total} cells"
+    line = (
+        f"[matrix] {report.done}/{report.total} cells"
         f" | memo {report.cached_memo}"
         f" | disk {report.cached_disk}"
         f" | simulated {report.executed}"
         f" | running {report.running}"
         f" | {report.elapsed:.1f}s"
     )
-    if report.done == report.total:
-        sys.stderr.write("\n")
+    try:
+        tty = sys.stderr.isatty()
+    except (AttributeError, ValueError):
+        tty = False
+    if tty:
+        # Interactive: redraw one status line in place.
+        sys.stderr.write("\r" + line)
+        if report.done == report.total:
+            sys.stderr.write("\n")
+    else:
+        # Piped (REPRO_PROGRESS=1 under the job service, CI logs):
+        # carriage-return redraws would accumulate into one unreadable
+        # mega-line and an unterminated tail can be lost in a broken
+        # pipe, so emit complete, newline-terminated lines instead.
+        sys.stderr.write(line + "\n")
     sys.stderr.flush()
 
 
@@ -493,20 +594,24 @@ def run_cells(
 __all__ = [
     "CACHE_VERSION",
     "Cell",
+    "CellRun",
     "RunReport",
     "TOTALS",
     "cache_clear",
     "cache_dir",
     "cache_enabled",
+    "cache_gc",
     "cache_info",
     "cache_load",
     "cache_store",
+    "cache_store_dicts",
     "cell_key",
     "checkpoint_enabled",
     "checkpoint_every",
     "checkpoint_path",
     "code_version",
     "default_jobs",
+    "execute_cell",
     "run_cells",
     "simulate_cell",
 ]

@@ -1,0 +1,308 @@
+"""Cell and job model for the simulation service.
+
+A submission is either an explicit list of cells or the name of a
+known experiment matrix; either way it expands — deterministically, in
+a stable order — into :class:`CellSpec` units the server schedules:
+
+* ``sim`` cells are the runner's content-addressed
+  (benchmark, mechanism, accesses, seed, config) closed-loop cells:
+  deduped against ``.repro-cache/``, checkpointable, migratable.
+* ``fleet`` cells drive the open-loop multi-tenant scenarios of
+  :mod:`repro.experiments.fleet`.  They are deliberately *not* in the
+  persistent store (the cache is shaped around single-stream
+  closed-loop runs), so they dedupe in server memory only and restart
+  rather than resume when preempted.
+
+The wire format is plain JSON: a ``sim`` cell ships its full
+``SystemConfig.to_dict()`` so server and worker agree on the exact
+machine, and the server-computed ``key`` rides along so the worker
+checkpoints at the path the next worker will look in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.controller.registry import MECHANISMS as MECHANISM_REGISTRY
+from repro.errors import ServiceError
+from repro.experiments import common, fleet, generations, runner
+from repro.sim.config import SystemConfig, baseline_config
+from repro.workloads.fleet import SCENARIOS
+from repro.workloads.spec2000 import benchmark_names
+
+
+def canonical_json(payload: object) -> str:
+    """The one JSON encoding digests are computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def result_digest(payload: object) -> str:
+    """Stable content digest of one cell's result payload.
+
+    Byte-identity is the service's acceptance bar: a migrated cell, a
+    cache-served cell and a fresh in-process run of the same cell must
+    all produce the same digest.
+    """
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One schedulable unit of work, with its dedupe key."""
+
+    kind: str           # "sim" | "fleet"
+    key: str            # content address (sim) / synthetic digest (fleet)
+    payload: dict       # kind-specific wire fields
+
+    def to_wire(self) -> dict:
+        return {"kind": self.kind, "key": self.key, **self.payload}
+
+    @property
+    def label(self) -> str:
+        """Short human identity for logs and events."""
+        p = self.payload
+        if self.kind == "sim":
+            return f"{p['benchmark']}/{p['mechanism']}"
+        return f"{p['scenario']}/{p['mechanism']}"
+
+    @property
+    def preemptible(self) -> bool:
+        """Whether preempting this cell preserves work (snapshots)."""
+        return self.kind == "sim"
+
+
+def sim_cell_spec(
+    benchmark: str,
+    mechanism: str,
+    accesses: int,
+    seed: int,
+    config: SystemConfig,
+) -> CellSpec:
+    """A ``sim`` cell keyed exactly like the runner's result cache."""
+    key = runner.cell_key(benchmark, mechanism, accesses, seed, config)
+    return CellSpec(
+        kind="sim",
+        key=key,
+        payload={
+            "benchmark": benchmark,
+            "mechanism": mechanism,
+            "accesses": int(accesses),
+            "seed": int(seed),
+            "config": config.to_dict(),
+        },
+    )
+
+
+def sim_cell_from_wire(data: dict) -> runner.Cell:
+    """Decode a ``sim`` wire payload back into a runner cell."""
+    try:
+        return (
+            data["benchmark"],
+            data["mechanism"],
+            int(data["accesses"]),
+            int(data["seed"]),
+            SystemConfig.from_dict(data["config"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ServiceError(f"malformed sim cell: {error!r}") from None
+
+
+def fleet_cell_spec(
+    scenario: str,
+    mechanism: str,
+    accesses: Optional[int],
+    seed: int,
+) -> CellSpec:
+    """A ``fleet`` cell with a synthetic in-memory dedupe key.
+
+    ``accesses`` stays pre-scale (``run_scenario`` applies
+    ``REPRO_SCALE`` itself, in the worker), so the effective scale is
+    folded into the key: two servers at different scales never share a
+    memo entry.
+    """
+    payload = {
+        "scenario": scenario,
+        "mechanism": mechanism,
+        "accesses": accesses,
+        "seed": int(seed),
+    }
+    key = hashlib.sha256(
+        canonical_json(
+            {"fleet": payload, "scale": os.environ.get("REPRO_SCALE", "1.0")}
+        ).encode("utf-8")
+    ).hexdigest()
+    return CellSpec(kind="fleet", key=key, payload=payload)
+
+
+def spec_from_wire(data: dict) -> CellSpec:
+    """Validate + normalise one client-supplied cell dict."""
+    kind = data.get("kind", "sim")
+    if kind == "sim":
+        benchmark, mechanism, accesses, seed, config = sim_cell_from_wire(
+            data
+        )
+        _check_mechanism(mechanism)
+        _check_benchmark(benchmark)
+        return sim_cell_spec(benchmark, mechanism, accesses, seed, config)
+    if kind == "fleet":
+        scenario = data.get("scenario")
+        if scenario not in SCENARIOS:
+            raise ServiceError(
+                f"unknown fleet scenario {scenario!r}; "
+                f"available: {sorted(SCENARIOS)}"
+            )
+        mechanism = data.get("mechanism", "Burst_TH")
+        _check_mechanism(mechanism)
+        accesses = data.get("accesses")
+        return fleet_cell_spec(
+            scenario, mechanism,
+            None if accesses is None else int(accesses),
+            int(data.get("seed", common.default_seed())),
+        )
+    raise ServiceError(f"unknown cell kind {kind!r}")
+
+
+def _check_mechanism(mechanism: str) -> None:
+    if mechanism not in MECHANISM_REGISTRY:
+        raise ServiceError(
+            f"unknown mechanism {mechanism!r}; "
+            f"available: {sorted(MECHANISM_REGISTRY)}"
+        )
+
+
+def _check_benchmark(benchmark: str) -> None:
+    if benchmark not in benchmark_names():
+        raise ServiceError(
+            f"unknown benchmark {benchmark!r}; "
+            f"available: {benchmark_names()}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Matrix expansion
+# ----------------------------------------------------------------------
+
+
+def _expand_fig7(params: dict) -> List[CellSpec]:
+    """The shared benchmark × mechanism matrix behind Figures 7-10."""
+    benchmarks = list(params.get("benchmarks") or benchmark_names())
+    mechanisms = list(params.get("mechanisms") or common.MECHANISMS)
+    for benchmark in benchmarks:
+        _check_benchmark(benchmark)
+    for mechanism in mechanisms:
+        _check_mechanism(mechanism)
+    accesses = common.scaled_accesses(params.get("accesses"))
+    seed = int(params.get("seed", common.default_seed()))
+    config = baseline_config()
+    return [
+        sim_cell_spec(benchmark, mechanism, accesses, seed, config)
+        for benchmark in benchmarks
+        for mechanism in mechanisms
+    ]
+
+
+def _expand_generations(params: dict) -> List[CellSpec]:
+    """The generation-ladder fig7 matrix (experiments.generations)."""
+    benchmarks = list(params.get("benchmarks") or generations.BENCHMARKS)
+    mechanisms = list(params.get("mechanisms") or generations.MECHANISMS)
+    for benchmark in benchmarks:
+        _check_benchmark(benchmark)
+    for mechanism in mechanisms:
+        _check_mechanism(mechanism)
+    accesses = common.scaled_accesses(
+        params.get("accesses", generations.ACCESSES)
+    )
+    seed = int(params.get("seed", common.default_seed()))
+    specs = []
+    from repro.dram.timing import GENERATIONS
+
+    for timing in GENERATIONS:
+        config = generations.generation_config(timing)
+        specs.extend(
+            sim_cell_spec(benchmark, mechanism, accesses, seed, config)
+            for benchmark in benchmarks
+            for mechanism in mechanisms
+        )
+    return specs
+
+
+def _expand_fleet(params: dict) -> List[CellSpec]:
+    """The adversarial multi-tenant scenario matrix."""
+    scenarios = list(params.get("scenarios") or SCENARIOS)
+    mechanisms = list(params.get("mechanisms") or fleet.MECHANISMS)
+    unknown = [s for s in scenarios if s not in SCENARIOS]
+    if unknown:
+        raise ServiceError(
+            f"unknown fleet scenario(s) {unknown}; "
+            f"available: {sorted(SCENARIOS)}"
+        )
+    for mechanism in mechanisms:
+        _check_mechanism(mechanism)
+    accesses = params.get("accesses")
+    seed = int(params.get("seed", common.default_seed()))
+    return [
+        fleet_cell_spec(
+            scenario, mechanism,
+            None if accesses is None else int(accesses), seed,
+        )
+        for scenario in scenarios
+        for mechanism in mechanisms
+    ]
+
+
+MATRICES = {
+    "fig7": _expand_fig7,
+    "generations": _expand_generations,
+    "fleet": _expand_fleet,
+}
+
+
+def expand_submission(request: dict) -> List[CellSpec]:
+    """Expand one submit request into its ordered, deduped cell list.
+
+    Order is the expansion order (the dispatch tie-break, which makes
+    single-worker completion order reproducible); duplicate keys
+    within one submission collapse to the first occurrence.
+    """
+    matrix = request.get("matrix")
+    cells = request.get("cells")
+    if (matrix is None) == (cells is None):
+        raise ServiceError(
+            "a submission needs exactly one of 'matrix' or 'cells'"
+        )
+    if matrix is not None:
+        expander = MATRICES.get(matrix)
+        if expander is None:
+            raise ServiceError(
+                f"unknown matrix {matrix!r}; available: {sorted(MATRICES)}"
+            )
+        specs = expander(request.get("params") or {})
+    else:
+        if not isinstance(cells, Sequence) or isinstance(cells, (str, bytes)):
+            raise ServiceError("'cells' must be a list of cell dicts")
+        if not cells:
+            raise ServiceError("'cells' must not be empty")
+        specs = [spec_from_wire(cell) for cell in cells]
+    unique: Dict[str, CellSpec] = {}
+    for spec in specs:
+        unique.setdefault(spec.key, spec)
+    return list(unique.values())
+
+
+__all__ = [
+    "MATRICES",
+    "CellSpec",
+    "canonical_json",
+    "expand_submission",
+    "fleet_cell_spec",
+    "result_digest",
+    "sim_cell_from_wire",
+    "sim_cell_spec",
+    "spec_from_wire",
+]

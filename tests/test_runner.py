@@ -150,6 +150,113 @@ def test_cache_info_and_clear():
     assert runner.cache_clear() == 0  # idempotent on an empty store
 
 
+def test_cache_gc_evicts_lru_until_fit():
+    cells = _cells()
+    runner.run_cells(cells, jobs=1, memo={})
+    paths = sorted(runner.cache_dir().rglob("*.json"))
+    assert len(paths) == len(cells)
+    # Make the LRU order explicit: the first file is the coldest.
+    import os as _os
+
+    for age, path in enumerate(paths):
+        _os.utime(path, (1_000_000 + age, 1_000_000 + age))
+    sizes = {path: path.stat().st_size for path in paths}
+    keep = sum(sizes[p] for p in paths[2:])  # room for the 2 newest
+
+    removed, remaining = runner.cache_gc(keep)
+    assert removed == 2
+    assert remaining <= keep
+    survivors = set(runner.cache_dir().rglob("*.json"))
+    assert survivors == set(paths[2:])  # coldest two evicted
+
+    # Idempotent once the store fits; 0 clears everything.
+    assert runner.cache_gc(keep) == (0, remaining)
+    removed, remaining = runner.cache_gc(0)
+    assert remaining == 0
+    assert not list(runner.cache_dir().rglob("*.json"))
+
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        runner.cache_gc(-1)
+
+
+def test_cache_gc_covers_checkpoint_snapshots():
+    snapshot = runner.checkpoint_path("deadbeef")
+    snapshot.parent.mkdir(parents=True, exist_ok=True)
+    snapshot.write_bytes(b"x" * 64)
+    removed, remaining = runner.cache_gc(0)
+    assert removed == 1
+    assert remaining == 0
+    assert not snapshot.exists()
+
+
+def test_cli_cache_gc(capsys):
+    from repro.experiments.cli import main
+
+    runner.run_cells(_cells()[:1], jobs=1, memo={})
+    assert main(["cache", "gc", "--max-bytes", "1M"]) == 0
+    assert "evicted 0" in capsys.readouterr().out
+    assert main(["cache", "gc", "--max-bytes", "0"]) == 0
+    assert "evicted 1" in capsys.readouterr().out
+    with pytest.raises(SystemExit):
+        main(["cache", "gc", "--max-bytes", "lots"])
+
+
+def test_progress_piped_output_is_line_buffered(monkeypatch):
+    """Satellite: when stderr is a pipe (job service, CI logs), each
+    progress tick is a complete, flushed, newline-terminated line —
+    no carriage-return redraws that accumulate into one mega-line."""
+    import io
+
+    class PipeStderr(io.StringIO):
+        def __init__(self):
+            super().__init__()
+            self.flushes = 0
+
+        def isatty(self):
+            return False
+
+        def flush(self):
+            self.flushes += 1
+            return super().flush()
+
+    pipe = PipeStderr()
+    monkeypatch.setattr(runner.sys, "stderr", pipe)
+    report = runner.RunReport(total=4)
+    report.executed = 1
+    runner._print_progress(report)
+    report.executed = 2
+    runner._print_progress(report)
+    out = pipe.getvalue()
+    assert "\r" not in out
+    assert out.endswith("\n")
+    assert len(out.splitlines()) == 2
+    assert pipe.flushes == 2
+    # REPRO_PROGRESS=1 forces the reporter on even without a tty.
+    monkeypatch.setenv("REPRO_PROGRESS", "1")
+    assert runner._auto_progress() is runner._print_progress
+
+
+def test_progress_tty_redraws_in_place(monkeypatch):
+    import io
+
+    class TtyStderr(io.StringIO):
+        def isatty(self):
+            return True
+
+    tty = TtyStderr()
+    monkeypatch.setattr(runner.sys, "stderr", tty)
+    report = runner.RunReport(total=2)
+    report.executed = 1
+    runner._print_progress(report)
+    assert tty.getvalue().startswith("\r")
+    assert "\n" not in tty.getvalue()
+    report.executed = 2
+    runner._print_progress(report)  # completion appends the newline
+    assert tty.getvalue().endswith("\n")
+
+
 def test_default_jobs_env(monkeypatch):
     assert runner.default_jobs() == 1
     monkeypatch.setenv("REPRO_JOBS", "7")

@@ -1,0 +1,382 @@
+"""Tests for the job service (DESIGN.md §15).
+
+Unit layer: matrix expansion, wire round-trips and digests, with no
+processes involved.  Integration layer: a real ``repro-serve`` server
+subprocess with real worker subprocesses, exercising the acceptance
+properties one by one — warm resubmission simulates nothing,
+preempted cells migrate and resume byte-identically, higher-priority
+jobs evict running work, and a single-worker server completes a fixed
+matrix in a reproducible order with reproducible digests.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments import runner
+from repro.service.client import ServiceClient
+from repro.service.jobs import (
+    expand_submission,
+    fleet_cell_spec,
+    result_digest,
+    sim_cell_spec,
+    spec_from_wire,
+)
+from repro.sim.config import baseline_config
+
+N = 300
+SEED = 1
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_PROGRESS", "0")
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+
+
+def _cells(benches=("swim", "gcc"), mechs=("FCFS", "Burst_TH"), n=N):
+    cfg = baseline_config().to_dict()
+    return [
+        {"kind": "sim", "benchmark": b, "mechanism": m,
+         "accesses": n, "seed": SEED, "config": cfg}
+        for b in benches for m in mechs
+    ]
+
+
+# ----------------------------------------------------------------------
+# Unit: expansion, wire format, digests
+# ----------------------------------------------------------------------
+
+
+def test_expand_fig7_matrix_subset():
+    specs = expand_submission({
+        "matrix": "fig7",
+        "params": {
+            "benchmarks": ["swim", "mcf"],
+            "mechanisms": ["FCFS", "Burst_TH"],
+            "accesses": N,
+        },
+    })
+    assert len(specs) == 4
+    assert all(spec.kind == "sim" for spec in specs)
+    assert len({spec.key for spec in specs}) == 4
+    # Expansion order is benchmark-major: the dispatch tie-break.
+    assert [spec.label for spec in specs] == [
+        "swim/FCFS", "swim/Burst_TH", "mcf/FCFS", "mcf/Burst_TH",
+    ]
+
+
+def test_expand_generations_and_fleet():
+    gens = expand_submission({
+        "matrix": "generations",
+        "params": {
+            "benchmarks": ["swim"], "mechanisms": ["Burst_TH"],
+            "accesses": N,
+        },
+    })
+    from repro.dram.timing import GENERATIONS
+
+    assert len(gens) == len(GENERATIONS)
+    names = {spec.payload["config"]["timing"]["name"] for spec in gens}
+    assert len(names) == len(GENERATIONS)
+
+    fleet = expand_submission({
+        "matrix": "fleet",
+        "params": {"scenarios": ["symmetric2"], "mechanisms": ["Burst_TH"]},
+    })
+    assert len(fleet) == 1
+    assert fleet[0].kind == "fleet"
+    assert not fleet[0].preemptible
+
+
+def test_expand_rejects_malformed_submissions():
+    with pytest.raises(ServiceError):
+        expand_submission({})  # neither matrix nor cells
+    with pytest.raises(ServiceError):
+        expand_submission({"matrix": "fig7", "cells": _cells()})  # both
+    with pytest.raises(ServiceError):
+        expand_submission({"matrix": "no_such_matrix"})
+    with pytest.raises(ServiceError):
+        expand_submission({"cells": []})
+    with pytest.raises(ServiceError):
+        expand_submission({"cells": "fig7"})
+    with pytest.raises(ServiceError):
+        expand_submission(
+            {"matrix": "fig7", "params": {"mechanisms": ["Bogus"]}}
+        )
+    with pytest.raises(ServiceError):
+        expand_submission(
+            {"matrix": "fig7", "params": {"benchmarks": ["bogus"]}}
+        )
+    with pytest.raises(ServiceError):
+        expand_submission(
+            {"matrix": "fleet", "params": {"scenarios": ["bogus"]}}
+        )
+    with pytest.raises(ServiceError):
+        spec_from_wire({"kind": "bogus"})
+
+
+def test_submission_dedupes_by_key():
+    cells = _cells()
+    specs = expand_submission({"cells": cells + cells})
+    assert len(specs) == len(cells)
+
+
+def test_sim_spec_wire_round_trip_and_cache_key():
+    cfg = baseline_config()
+    spec = sim_cell_spec("swim", "Burst_TH", N, SEED, cfg)
+    again = spec_from_wire(spec.to_wire())
+    assert again.key == spec.key
+    # The service key IS the runner's cache key: dedupe against
+    # .repro-cache/ and the sequential CLI is exact, not approximate.
+    assert spec.key == runner.cell_key("swim", "Burst_TH", N, SEED, cfg)
+
+
+def test_fleet_key_folds_scale(monkeypatch):
+    base = fleet_cell_spec("symmetric2", "Burst_TH", None, SEED).key
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    assert fleet_cell_spec("symmetric2", "Burst_TH", None, SEED).key != base
+
+
+def test_result_digest_is_order_insensitive():
+    assert result_digest({"a": 1, "b": 2}) == result_digest({"b": 2, "a": 1})
+    assert result_digest({"a": 1}) != result_digest({"a": 2})
+
+
+# ----------------------------------------------------------------------
+# Integration: a real server with real workers
+# ----------------------------------------------------------------------
+
+
+class Server:
+    """Run one repro-serve server subprocess for a test."""
+
+    def __init__(self, tmp_path, workers=2, progress_every=20_000,
+                 cache_dir=None):
+        self.socket = str(tmp_path / "serve.sock")
+        env = dict(os.environ)
+        src = str(Path(runner.__file__).resolve().parents[2])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        if cache_dir is not None:
+            env["REPRO_CACHE_DIR"] = str(cache_dir)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.cli", "start",
+             "--socket", self.socket, "--workers", str(workers),
+             "--progress-every", str(progress_every)],
+            env=env,
+        )
+        self.client = ServiceClient(self.socket)
+        self.client.wait_ready()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        try:
+            if self.proc.poll() is None:
+                self.client.shutdown()
+                self.proc.wait(timeout=60)
+        except (ServiceError, subprocess.TimeoutExpired):
+            self.proc.kill()
+            self.proc.wait()
+
+
+def test_server_dedupe_and_query(tmp_path):
+    cells = _cells()
+    with Server(tmp_path) as server:
+        first = server.client.submit(cells=cells, wait=True)["summary"]
+        assert first["simulated"] == len(cells)
+        assert first["failed"] == 0
+        assert len(first["completion_order"]) == len(cells)
+
+        # Warm resubmission: 100% served from the store, 0 simulated,
+        # and the job digest is unchanged — cached results are
+        # byte-identical to the fresh simulations.
+        warm = server.client.submit(cells=cells, wait=True)["summary"]
+        assert warm["simulated"] == 0
+        assert warm["cached"] == len(cells)
+        assert warm["digest"] == first["digest"]
+        assert warm["events_per_sec"] is None  # no simulation window
+
+        # The query endpoint filters the accumulated record matrix.
+        records = server.client.query(mechanism="Burst_TH")
+        assert {r["benchmark"] for r in records} == {"swim", "gcc"}
+        assert all("ipc" in r and "row_hit" in r for r in records)
+        assert server.client.query(benchmark="swim", mechanism="FCFS")
+        assert server.client.query(mechanism="NoSuch") == []
+
+    # The server's store is the runner's store: a sequential run_cells
+    # over the same cells simulates nothing.
+    from repro.service.jobs import sim_cell_from_wire
+
+    _, report = runner.run_cells(
+        [sim_cell_from_wire(c) for c in cells], jobs=1, memo={}
+    )
+    assert report.executed == 0
+    assert report.cached_disk == len(cells)
+
+
+def test_preempted_cell_migrates_and_resumes(tmp_path):
+    """Satellite 3: SIGTERM a worker mid-cell; the cell must resume
+    from its snapshot on another worker and the final stats must be
+    byte-identical to an uninterrupted in-process run."""
+    cells = _cells(benches=("swim", "mcf"), mechs=("Burst_TH",), n=80_000)
+    with Server(tmp_path) as server:
+        job = server.client.submit(cells=cells)["job"]
+        # Preempt only once every cell has streamed a progress event:
+        # by then each worker is inside its simulation loop with the
+        # checkpoint handler installed, so the SIGTERM snapshot is
+        # guaranteed to land mid-run (cycle > 0) rather than racing
+        # worker startup and restarting the cell from scratch.
+        watch = server.client.watch(job)
+        events = []
+        progressed = set()
+        for event in watch:
+            events.append(event)
+            if event["event"] == "cell_progress":
+                progressed.add(event["key"])
+                if len(progressed) == len(cells):
+                    break
+            elif event["event"] == "job_done":  # pragma: no cover
+                pytest.fail("job finished before any progress event")
+        preempted = server.client.preempt()
+        events.extend(watch)
+        done = [e for e in events if e["event"] == "job_done"][0]
+        kinds = [e["event"] for e in events]
+        assert "cell_preempted" in kinds
+        assert done["failed"] == 0
+        assert done["preemptions"] >= 1
+        # The preempted cell resumed mid-run instead of restarting.
+        key = preempted["key"]
+        assert done["resumed"].get(key, 0) > 0
+        migrated_digest = done["digests"][key]
+
+    # Reference: the same cell, uninterrupted, in this process, with
+    # the cache out of the loop.
+    cfg = baseline_config()
+    for cell in cells:
+        k = runner.cell_key(
+            cell["benchmark"], cell["mechanism"], cell["accesses"],
+            cell["seed"], cfg,
+        )
+        if k == key:
+            run = runner.execute_cell(
+                (cell["benchmark"], cell["mechanism"], cell["accesses"],
+                 cell["seed"], cfg),
+                checkpoint=False,
+            )
+            fresh = result_digest({
+                "key": k,
+                "stats": run.stats.to_dict(),
+                "core": run.core.to_dict(),
+            })
+            assert fresh == migrated_digest
+            break
+    else:
+        pytest.fail("preempted key not in the submitted cells")
+
+
+def test_priority_preempts_running_work(tmp_path):
+    """A higher-priority job arriving with no idle worker evicts the
+    lowest-priority running cell and finishes first."""
+    with Server(tmp_path, workers=1) as server:
+        long_job = server.client.submit(
+            cells=_cells(benches=("swim",), mechs=("Burst_TH",), n=80_000)
+        )["job"]
+        # Wait for a progress event so the eviction snapshots a cell
+        # that is demonstrably mid-run (checkpoint handler installed).
+        for event in server.client.watch(long_job):
+            if event["event"] == "cell_progress":
+                break
+            assert event["event"] != "job_done", "cell finished too fast"
+        urgent = server.client.submit(
+            cells=_cells(benches=("gcc",), mechs=("FCFS",), n=N),
+            priority=5, wait=True,
+        )["summary"]
+        assert urgent["failed"] == 0
+        long_summary = server.client.wait(long_job)
+        assert long_summary["failed"] == 0
+        assert long_summary["preemptions"] >= 1
+        assert long_summary["resumed"]  # resumed, not restarted
+
+
+def test_single_worker_completion_is_deterministic(tmp_path):
+    """Satellite 6: fixed seed + one worker => reproducible completion
+    order and result digests across fresh server instances."""
+    request = {
+        "matrix": "fig7",
+        "params": {
+            "benchmarks": ["swim", "gcc"],
+            "mechanisms": ["FCFS", "Burst_TH"],
+            "accesses": N,
+            "seed": SEED,
+        },
+    }
+
+    def run_once(tag):
+        cache = tmp_path / f"cache-{tag}"
+        with Server(tmp_path, workers=1, cache_dir=cache) as server:
+            reply = server.client.submit(
+                matrix=request["matrix"], params=request["params"],
+                wait=True,
+            )
+            return reply["summary"]
+
+    a = run_once("a")
+    b = run_once("b")
+    assert a["simulated"] == b["simulated"] == 4
+    assert a["completion_order"] == b["completion_order"]
+    assert a["digests"] == b["digests"]
+    assert a["digest"] == b["digest"]
+
+
+def test_fleet_matrix_over_service(tmp_path):
+    with Server(tmp_path, workers=2) as server:
+        summary = server.client.submit(
+            matrix="fleet",
+            params={
+                "scenarios": ["symmetric2"],
+                "mechanisms": ["Burst_TH"],
+                "accesses": 300,
+            },
+            wait=True,
+        )["summary"]
+        assert summary["failed"] == 0
+        assert summary["simulated"] == 1
+        records = server.client.query(mechanism="Burst_TH")
+        (record,) = records
+        assert record["scenario"] == "symmetric2"
+        assert "weighted_speedup" in record
+
+        # In-memory dedupe: fleet cells are not on disk, but a second
+        # submission within the server's lifetime is still free.
+        warm = server.client.submit(
+            matrix="fleet",
+            params={
+                "scenarios": ["symmetric2"],
+                "mechanisms": ["Burst_TH"],
+                "accesses": 300,
+            },
+            wait=True,
+        )["summary"]
+        assert warm["simulated"] == 0
+        assert warm["cached"] == 1
+
+
+def test_bad_requests_get_typed_errors(tmp_path):
+    with Server(tmp_path, workers=1) as server:
+        with pytest.raises(ServiceError):
+            server.client.submit(matrix="nope")
+        with pytest.raises(ServiceError):
+            server.client.wait("job-999")
+        with pytest.raises(ServiceError):
+            server.client.request({"op": "frobnicate"})
+        with pytest.raises(ServiceError):
+            server.client.preempt()  # nothing running
